@@ -1,0 +1,248 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation section. One benchmark per artefact:
+//
+//	Fig. 2   BenchmarkFig2Phases
+//	Fig. 3   BenchmarkFig3CPULoadSource
+//	Fig. 4   BenchmarkFig4CPULoadTarget
+//	Fig. 5   BenchmarkFig5MemLoadVM
+//	Fig. 6   BenchmarkFig6MemLoadSource
+//	Fig. 7   BenchmarkFig7MemLoadTarget
+//	Tab. III BenchmarkTable3CoefficientsNonLive
+//	Tab. IV  BenchmarkTable4CoefficientsLive
+//	Tab. V   BenchmarkTable5NRMSE
+//	Tab. VI  BenchmarkTable6BaselineCoefficients
+//	Tab. VII BenchmarkTable7Comparison
+//	—        BenchmarkAblationLiveFeatures (design-choice ablation)
+//
+// Each benchmark prints its artefact once (the rows/series the paper
+// reports) and then measures the cost of regenerating it. The sweeps use
+// the paper's load levels with a reduced repeat count so the whole harness
+// completes in minutes; `cmd/wavm3bench` (without -quick) runs the
+// paper-faithful ≥10-repeat protocol.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/report"
+)
+
+// benchConfig uses the paper's full sweep levels with two repeats.
+func benchConfig(pair string, seed int64) experiments.Config {
+	cfg := experiments.DefaultConfig(pair)
+	cfg.MinRuns = 2
+	cfg.VarianceTol = 0.9
+	cfg.Seed = seed
+	return cfg
+}
+
+// printOnce gates artefact output so repeated benchmark iterations do not
+// spam the log.
+var printed sync.Map
+
+func emitOnce(key string, f func()) {
+	if _, dup := printed.LoadOrStore(key, true); !dup {
+		f()
+	}
+}
+
+// benchFamilyFigure is the shared body of the figure benchmarks.
+func benchFamilyFigure(b *testing.B, fam experiments.Family, seed int64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		prs, err := experiments.RunFamily(benchConfig(hw.PairM, seed), fam)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig, err := experiments.FamilyFigure(fam, prs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce(fig.ID, func() {
+			if err := report.WriteFigure(os.Stdout, fig, 20); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFig2Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure2(benchConfig(hw.PairM, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce(fig.ID, func() {
+			if err := report.WriteFigure(os.Stdout, fig, 20); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkFig3CPULoadSource(b *testing.B) {
+	benchFamilyFigure(b, experiments.CPULoadSource, 3)
+}
+
+func BenchmarkFig4CPULoadTarget(b *testing.B) {
+	benchFamilyFigure(b, experiments.CPULoadTarget, 4)
+}
+
+func BenchmarkFig5MemLoadVM(b *testing.B) {
+	benchFamilyFigure(b, experiments.MemLoadVM, 5)
+}
+
+func BenchmarkFig6MemLoadSource(b *testing.B) {
+	benchFamilyFigure(b, experiments.MemLoadSource, 6)
+}
+
+func BenchmarkFig7MemLoadTarget(b *testing.B) {
+	benchFamilyFigure(b, experiments.MemLoadTarget, 7)
+}
+
+// suiteOnce builds the shared model-evaluation suite (m- and o-pair
+// campaigns plus training) once; the table benchmarks measure artefact
+// generation on top of it.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		m, err := experiments.RunCampaign(benchConfig(hw.PairM, 11),
+			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		o, err := experiments.RunCampaign(benchConfig(hw.PairO, 12),
+			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		suite, suiteErr = experiments.BuildSuite(m, o)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func benchCoeffTable(b *testing.B, kind migration.Kind) {
+	b.Helper()
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := s.CoefficientTable(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce(ct.ID, func() {
+			if err := report.CoeffTable(ct).Write(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkTable3CoefficientsNonLive(b *testing.B) {
+	benchCoeffTable(b, migration.NonLive)
+}
+
+func BenchmarkTable4CoefficientsLive(b *testing.B) {
+	benchCoeffTable(b, migration.Live)
+}
+
+func BenchmarkTable5NRMSE(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t5, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce(t5.ID, func() {
+			if err := report.NRMSETable(t5).Write(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkTable6BaselineCoefficients(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t6, err := s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce("table6", func() {
+			if err := report.BaselineTable(t6).Write(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkTable7Comparison(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t7, err := s.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce("table7", func() {
+			if err := report.ComparisonTable(t7).Write(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkCrossValidationLive(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv, err := s.CrossValidateLive(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce("xval", func() {
+			if err := report.CrossValTable(cv).Write(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLiveFeatures(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		abs, err := experiments.AblateLive(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitOnce("ablation", func() {
+			fmt.Println("Feature ablation (live migration, NRMSE on test split):")
+			fmt.Printf("%-12s %10s %10s\n", "variant", "Source", "Target")
+			for _, a := range abs {
+				fmt.Printf("%-12s %9.2f%% %9.2f%%\n", a.Variant,
+					a.NRMSE[core.Source]*100, a.NRMSE[core.Target]*100)
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+// Command wavm3bench regenerates every table and figure of the paper's
+// evaluation section in one run: Figures 2–7 (power traces per experiment
+// family) and Tables III–VII (coefficients, NRMSE and the four-model
+// comparison).
+//
+// Usage:
+//
+//	wavm3bench                 # everything, paper-scale sweeps (minutes)
+//	wavm3bench -quick          # everything, reduced sweeps (tens of seconds)
+//	wavm3bench -only table7    # one artefact: fig2..fig7, table3..table7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// artefacts in paper order.
+var artefactOrder = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5", "table6", "table7", "ablation", "xval"}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweeps and repeats")
+		only  = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
+		seed  = flag.Int64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, a := range artefactOrder {
+			want[a] = true
+		}
+	} else {
+		for _, a := range strings.Split(*only, ",") {
+			a = strings.TrimSpace(strings.ToLower(a))
+			want[a] = true
+		}
+	}
+
+	mcfg := experiments.DefaultConfig(hw.PairM)
+	mcfg.Seed = *seed
+	ocfg := experiments.DefaultConfig(hw.PairO)
+	ocfg.Seed = *seed + 1000
+	if *quick {
+		for _, c := range []*experiments.Config{&mcfg, &ocfg} {
+			c.MinRuns = 2
+			c.VarianceTol = 0.9
+			c.LoadLevels = []int{0, 5, 8}
+			c.DirtyLevels = []units.Fraction{0.05, 0.55, 0.95}
+		}
+	}
+
+	started := time.Now()
+
+	// Figures come straight from family campaigns; remember the results so
+	// the table suite can reuse the m-pair data.
+	famFor := map[string]experiments.Family{
+		"fig3": experiments.CPULoadSource,
+		"fig4": experiments.CPULoadTarget,
+		"fig5": experiments.MemLoadVM,
+		"fig6": experiments.MemLoadSource,
+		"fig7": experiments.MemLoadTarget,
+	}
+
+	if want["fig2"] {
+		fig, err := experiments.Figure2(mcfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(fig)
+	}
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7"} {
+		if !want[id] {
+			continue
+		}
+		prs, err := experiments.RunFamily(mcfg, famFor[id])
+		if err != nil {
+			fatal(err)
+		}
+		fig, err := experiments.FamilyFigure(famFor[id], prs)
+		if err != nil {
+			fatal(err)
+		}
+		emit(fig)
+	}
+
+	needTables := want["table3"] || want["table4"] || want["table5"] || want["table6"] ||
+		want["table7"] || want["ablation"] || want["xval"]
+	if needTables {
+		fmt.Fprintln(os.Stderr, "wavm3bench: running model campaigns on both machine pairs...")
+		mCamp, err := experiments.RunCampaign(mcfg,
+			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+		if err != nil {
+			fatal(err)
+		}
+		var oCamp *experiments.Campaign
+		if want["table5"] {
+			oCamp, err = experiments.RunCampaign(ocfg,
+				experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		suite, err := experiments.BuildSuite(mCamp, oCamp)
+		if err != nil {
+			fatal(err)
+		}
+		if want["table3"] {
+			ct, err := suite.CoefficientTable(migration.NonLive)
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.CoeffTable(ct))
+		}
+		if want["table4"] {
+			ct, err := suite.CoefficientTable(migration.Live)
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.CoeffTable(ct))
+		}
+		if want["table5"] {
+			t5, err := suite.Table5()
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.NRMSETable(t5))
+		}
+		if want["table6"] {
+			t6, err := suite.Table6()
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.BaselineTable(t6))
+		}
+		if want["table7"] {
+			t7, err := suite.Table7()
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.ComparisonTable(t7))
+		}
+		if want["ablation"] {
+			abs, err := experiments.AblateLive(suite)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("Feature ablation (live migration, NRMSE on test split):")
+			for _, a := range abs {
+				fmt.Printf("  %-12s source %6.2f%%  target %6.2f%%\n", a.Variant,
+					a.NRMSE[core.Source]*100, a.NRMSE[core.Target]*100)
+			}
+			fmt.Println()
+		}
+		if want["xval"] {
+			cv, err := suite.CrossValidateLive(4)
+			if err != nil {
+				fatal(err)
+			}
+			writeTable(report.CrossValTable(cv))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "wavm3bench: done in %v\n", time.Since(started).Round(time.Second))
+}
+
+func emit(fig *experiments.Figure) {
+	if err := report.WriteFigure(os.Stdout, fig, 25); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func writeTable(t *report.Table) {
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavm3bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Capacityplan: sweep dirty ratios and host loads with a trained WAVM3
+// estimator to map out when a live migration is worth its energy — the
+// planning exercise the paper's conclusion sketches. Prints a small
+// energy matrix (dirty ratio × target load) for a 4 GiB VM.
+//
+// Run with: go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wavm3"
+)
+
+func main() {
+	fmt.Println("training WAVM3 estimator...")
+	est, err := wavm3.TrainEstimator(wavm3.TrainingConfig{Quick: true, RunsPerPoint: 2, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dirtyLevels := []float64{0.05, 0.25, 0.50, 0.75, 0.95}
+	targetLoads := []float64{0, 8, 16, 24, 32}
+
+	fmt.Println("\npredicted total migration energy [kJ] for a live 4 GiB migration")
+	fmt.Printf("%-12s", "DR \\ load")
+	for _, l := range targetLoads {
+		fmt.Printf("%10.0f", l)
+	}
+	fmt.Println()
+	for _, dr := range dirtyLevels {
+		fmt.Printf("%-12.0f%%", dr*100)
+		for _, l := range targetLoads {
+			e, err := est.Estimate(wavm3.Plan{
+				Kind:              wavm3.Live,
+				VMMemoryBytes:     4 << 30,
+				VMBusyVCPUs:       1,
+				DirtyRatio:        dr,
+				SourceBusyThreads: 8,
+				TargetBusyThreads: l,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.1f", e.Total().KiloJoules())
+		}
+		fmt.Println()
+	}
+
+	// Break-even analysis: consolidation saves the idle power of the
+	// vacated host; the migration must amortise its own cost.
+	fmt.Println("\nbreak-even: a vacated Opteron host idles at ~440 W AC;")
+	hi, err := est.Estimate(wavm3.Plan{
+		Kind: wavm3.Live, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 1,
+		DirtyRatio: 0.95, SourceBusyThreads: 8, TargetBusyThreads: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, err := est.Estimate(wavm3.Plan{
+		Kind: wavm3.Live, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 1,
+		DirtyRatio: 0.05, SourceBusyThreads: 8, TargetBusyThreads: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const idleW = 440.0
+	fmt.Printf("a cheap migration (%.1f kJ) pays back in %.0f s of saved idle power,\n",
+		lo.Total().KiloJoules(), float64(lo.Total())/idleW)
+	fmt.Printf("the worst case (%.1f kJ) needs %.0f s - plan consolidations accordingly.\n",
+		hi.Total().KiloJoules(), float64(hi.Total())/idleW)
+}

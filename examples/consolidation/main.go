@@ -1,0 +1,75 @@
+// Consolidation: drive the consolidation manager — the paper's motivating
+// application and the remaining actor of its Figure 1 — with a trained
+// WAVM3 estimator. The energy-aware policy prices every candidate move and
+// empties hosts at minimal migration cost; the classic first-fit-decreasing
+// baseline ignores energy and demonstrates the mistake the paper's
+// conclusion warns about (consolidating a high-dirty-ratio VM onto a busy
+// host).
+//
+// Run with: go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wavm3"
+)
+
+func main() {
+	fmt.Println("training WAVM3 estimator...")
+	est, err := wavm3.TrainEstimator(wavm3.TrainingConfig{Quick: true, RunsPerPoint: 2, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small data centre: a busy host, a calm host, and two lightly used
+	// hosts worth emptying — one of them running a dirty-memory cache.
+	hosts := []wavm3.HostState{
+		{Name: "rack1-busy", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
+			{Name: "analytics", MemBytes: wavm3.GiB(4), BusyVCPUs: 20, DirtyRatio: 0.2},
+		}},
+		{Name: "rack2-calm", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
+			{Name: "web", MemBytes: wavm3.GiB(4), BusyVCPUs: 4, DirtyRatio: 0.1},
+		}},
+		{Name: "rack3", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
+			{Name: "redis-cache", MemBytes: wavm3.GiB(4), BusyVCPUs: 2, DirtyRatio: 0.9},
+		}},
+		{Name: "rack4", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
+			{Name: "batch", MemBytes: wavm3.GiB(4), BusyVCPUs: 3, DirtyRatio: 0.05},
+		}},
+	}
+
+	show := func(name string, plan *wavm3.ConsolidationPlan) {
+		fmt.Printf("\n%s policy:\n", name)
+		if len(plan.Moves) == 0 {
+			fmt.Println("  no moves")
+			return
+		}
+		for _, m := range plan.Moves {
+			fmt.Printf("  move %-12s %-10s -> %-10s  %7.1f kJ  %8s\n",
+				m.VM, m.From, m.To, m.Cost.Energy.KiloJoules(), m.Cost.Duration.Round(1e9))
+		}
+		fmt.Printf("  freed hosts: %v (saves %.0f W idle)\n", plan.FreedHosts, float64(plan.IdleSavings))
+		fmt.Printf("  total migration energy: %.1f kJ\n", plan.MigrationEnergy.KiloJoules())
+		if pb, err := plan.Payback(); err == nil {
+			fmt.Printf("  pays back in %s of saved idle power\n", pb.Round(1e9))
+		}
+	}
+
+	ea, err := est.PlanConsolidation(hosts, wavm3.ConsolidationConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("energy-aware (WAVM3)", ea)
+
+	ffd, err := est.PlanConsolidationFFD(hosts, wavm3.ConsolidationConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("first-fit-decreasing (energy-blind)", ffd)
+
+	fmt.Printf("\nenergy-aware spends %.1f kJ vs FFD's %.1f kJ for its consolidation —\n",
+		ea.MigrationEnergy.KiloJoules(), ffd.MigrationEnergy.KiloJoules())
+	fmt.Println("the difference is mostly where the high-dirty-ratio cache lands.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: train a WAVM3 estimator on the simulated testbed and predict
+// the energy cost of a planned live migration — the question the model
+// exists to answer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wavm3"
+)
+
+func main() {
+	// Train on a reduced campaign (a few seconds). Production use would
+	// run the full sweeps: wavm3.TrainingConfig{RunsPerPoint: 10}.
+	fmt.Println("training WAVM3 on the simulated m01-m02 testbed...")
+	est, err := wavm3.TrainEstimator(wavm3.TrainingConfig{Quick: true, RunsPerPoint: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 4 GiB VM running a memory-hungry service (dirty ratio 55%), one
+	// busy vCPU, migrating from a half-loaded source to an idle target.
+	plan := wavm3.Plan{
+		Kind:              wavm3.Live,
+		VMMemoryBytes:     4 << 30,
+		VMBusyVCPUs:       1,
+		DirtyRatio:        0.55,
+		SourceBusyThreads: 16,
+		TargetBusyThreads: 0,
+	}
+	e, err := est.Estimate(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanned live migration of a 4 GiB VM (DR=55%%):\n")
+	fmt.Printf("  predicted duration:     %v\n", e.Duration.Round(1e9))
+	fmt.Printf("  predicted data moved:   %.2f GiB\n", float64(e.TransferBytes)/(1<<30))
+	fmt.Printf("  source energy:          %.1f kJ\n", e.Source.KiloJoules())
+	fmt.Printf("  target energy:          %.1f kJ\n", e.Target.KiloJoules())
+	fmt.Printf("  data-centre total:      %.1f kJ\n", e.Total().KiloJoules())
+
+	// Compare against the non-live alternative for the same VM.
+	plan.Kind = wavm3.NonLive
+	plan.DirtyRatio = 0
+	n, err := est.Estimate(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsuspend-resume alternative:\n")
+	fmt.Printf("  predicted duration:     %v (service down throughout)\n", n.Duration.Round(1e9))
+	fmt.Printf("  data-centre total:      %.1f kJ\n", n.Total().KiloJoules())
+	if n.Total() < e.Total() {
+		fmt.Println("\nnon-live is cheaper energy-wise - the price of live migration is availability.")
+	} else {
+		fmt.Println("\nlive migration wins on both energy and availability here.")
+	}
+}

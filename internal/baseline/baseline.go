@@ -1,0 +1,265 @@
+// Package baseline implements the three state-of-the-art models the paper
+// compares WAVM3 against in Section VII:
+//
+//   - HUANG (Eq. 8): instantaneous power linear in the migrating VM's CPU
+//     utilisation, integrated over the migration.
+//   - LIU (Eq. 9): migration energy linear in the amount of data exchanged.
+//   - STRUNK (Eq. 11): migration energy linear in VM memory size and
+//     network bandwidth.
+//
+// Each model is trained on the same campaign data as WAVM3 (per host role)
+// and satisfies core.EnergyModel, so the comparison harness treats all
+// four uniformly.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Huang is the model of Huang et al. [3]: instantaneous power linear in
+// CPU utilisation, per host role, integrated over the migration. The
+// paper's Eq. 8 writes the regressor as CPU(v,t), but its comparison
+// discussion (Section VII) states the model "considers the CPU of source
+// and target hosts" — which is what makes it competitive on non-live
+// migration where the suspended guest's own CPU is identically zero. We
+// therefore regress on the host CPU utilisation, the interpretation under
+// which the paper's reported behaviour is reproducible.
+type Huang struct {
+	// Alpha and C per role.
+	Alpha, C map[core.Role]float64
+}
+
+// Name implements core.EnergyModel.
+func (h *Huang) Name() string { return "HUANG" }
+
+// TrainHuang fits the per-role coefficients from power readings.
+func TrainHuang(ds *core.Dataset) (*Huang, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("baseline: empty training dataset for HUANG")
+	}
+	out := &Huang{Alpha: make(map[core.Role]float64), C: make(map[core.Role]float64)}
+	for _, role := range core.Roles() {
+		var rows [][]float64
+		var y []float64
+		for _, r := range ds.Runs {
+			if r.Role != role {
+				continue
+			}
+			for _, o := range r.Obs {
+				rows = append(rows, []float64{float64(o.HostCPU)})
+				y = append(y, float64(o.Power))
+			}
+		}
+		if len(rows) < 2 {
+			return nil, fmt.Errorf("baseline: no %v readings for HUANG", role)
+		}
+		x, err := stats.DesignMatrix(rows, true)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := stats.OLS(x, y)
+		if err != nil {
+			// A degenerate campaign can hold host CPU constant (idle-only
+			// runs); fall back to the mean-power constant model.
+			if errors.Is(err, stats.ErrRankDeficient) {
+				out.Alpha[role] = 0
+				out.C[role] = stats.Mean(y)
+				continue
+			}
+			return nil, err
+		}
+		out.C[role] = fit.Coeffs[0]
+		out.Alpha[role] = fit.Coeffs[1]
+	}
+	return out, nil
+}
+
+// PredictEnergy implements core.EnergyModel by integrating Eq. 8 over the
+// record's observation timestamps.
+func (h *Huang) PredictEnergy(r *core.RunRecord) (units.Joules, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	alpha, ok := h.Alpha[r.Role]
+	if !ok {
+		return 0, fmt.Errorf("baseline: HUANG has no coefficients for %v", r.Role)
+	}
+	c := h.C[r.Role]
+	pred := &trace.PowerTrace{Host: r.RunID}
+	for _, o := range r.Obs {
+		p := alpha*float64(o.HostCPU) + c
+		if p < 0 {
+			p = 0
+		}
+		if err := pred.Append(o.At, units.Watts(p)); err != nil {
+			return 0, err
+		}
+	}
+	return pred.Energy(), nil
+}
+
+// Liu is the model of Liu et al. [4]: Emigr = α·DATA + C, per host role,
+// where DATA is the measured amount of state data exchanged (the paper
+// substitutes its own network instrumentation for Liu's analytic Eq. 10).
+type Liu struct {
+	Alpha, C map[core.Role]float64
+}
+
+// Name implements core.EnergyModel.
+func (l *Liu) Name() string { return "LIU" }
+
+// TrainLiu fits per-role energy-vs-data lines on whole runs.
+func TrainLiu(ds *core.Dataset) (*Liu, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("baseline: empty training dataset for LIU")
+	}
+	out := &Liu{Alpha: make(map[core.Role]float64), C: make(map[core.Role]float64)}
+	for _, role := range core.Roles() {
+		var rows [][]float64
+		var y []float64
+		for _, r := range ds.Runs {
+			if r.Role != role {
+				continue
+			}
+			rows = append(rows, []float64{float64(r.BytesSent)})
+			y = append(y, float64(r.MeasuredEnergy))
+		}
+		if len(rows) < 2 {
+			return nil, fmt.Errorf("baseline: %d %v runs for LIU, need ≥ 2", len(rows), role)
+		}
+		x, err := stats.DesignMatrix(rows, true)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := stats.OLS(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: fitting LIU/%v: %w", role, err)
+		}
+		out.C[role] = fit.Coeffs[0]
+		out.Alpha[role] = fit.Coeffs[1]
+	}
+	return out, nil
+}
+
+// PredictEnergy implements core.EnergyModel (Eq. 9).
+func (l *Liu) PredictEnergy(r *core.RunRecord) (units.Joules, error) {
+	alpha, ok := l.Alpha[r.Role]
+	if !ok {
+		return 0, fmt.Errorf("baseline: LIU has no coefficients for %v", r.Role)
+	}
+	if r.BytesSent <= 0 {
+		return 0, fmt.Errorf("baseline: run %s has no transfer-size measurement", r.RunID)
+	}
+	e := alpha*float64(r.BytesSent) + l.C[r.Role]
+	if e < 0 {
+		e = 0
+	}
+	return units.Joules(e), nil
+}
+
+// Strunk is the model of Strunk [17]: Emigr = α·MEM(v) + β·BW(S,T) + C,
+// per host role, on whole runs.
+type Strunk struct {
+	Alpha, Beta, C map[core.Role]float64
+}
+
+// Name implements core.EnergyModel.
+func (s *Strunk) Name() string { return "STRUNK" }
+
+// TrainStrunk fits the per-role plane on whole runs. When every training
+// run migrates the same VM size (as in the paper's campaign), the MEM
+// column is collinear with the intercept; the fit then drops the MEM term
+// and attributes its effect to the constant, mirroring how a degenerate
+// design degrades this model in practice.
+func TrainStrunk(ds *core.Dataset) (*Strunk, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("baseline: empty training dataset for STRUNK")
+	}
+	out := &Strunk{
+		Alpha: make(map[core.Role]float64),
+		Beta:  make(map[core.Role]float64),
+		C:     make(map[core.Role]float64),
+	}
+	for _, role := range core.Roles() {
+		var rows [][]float64
+		var y []float64
+		for _, r := range ds.Runs {
+			if r.Role != role {
+				continue
+			}
+			rows = append(rows, []float64{float64(r.VMMem), float64(r.MeanBandwidth)})
+			y = append(y, float64(r.MeasuredEnergy))
+		}
+		if len(rows) < 3 {
+			return nil, fmt.Errorf("baseline: %d %v runs for STRUNK, need ≥ 3", len(rows), role)
+		}
+		x, err := stats.DesignMatrix(rows, true)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := stats.OLS(x, y)
+		if errors.Is(err, stats.ErrRankDeficient) {
+			// Constant MEM across runs: refit bandwidth-only.
+			bwRows := make([][]float64, len(rows))
+			for i, row := range rows {
+				bwRows[i] = []float64{row[1]}
+			}
+			x2, err2 := stats.DesignMatrix(bwRows, true)
+			if err2 != nil {
+				return nil, err2
+			}
+			fit2, err2 := stats.OLS(x2, y)
+			if errors.Is(err2, stats.ErrRankDeficient) {
+				// Bandwidth constant too (every training run saw the same
+				// unloaded link): all that is left is the constant model.
+				out.C[role] = stats.Mean(y)
+				out.Alpha[role] = 0
+				out.Beta[role] = 0
+				continue
+			}
+			if err2 != nil {
+				return nil, fmt.Errorf("baseline: fitting STRUNK/%v: %w", role, err2)
+			}
+			out.C[role] = fit2.Coeffs[0]
+			out.Alpha[role] = 0
+			out.Beta[role] = fit2.Coeffs[1]
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("baseline: fitting STRUNK/%v: %w", role, err)
+		}
+		out.C[role] = fit.Coeffs[0]
+		out.Alpha[role] = fit.Coeffs[1]
+		out.Beta[role] = fit.Coeffs[2]
+	}
+	return out, nil
+}
+
+// PredictEnergy implements core.EnergyModel (Eq. 11).
+func (s *Strunk) PredictEnergy(r *core.RunRecord) (units.Joules, error) {
+	alpha, ok := s.Alpha[r.Role]
+	if !ok {
+		return 0, fmt.Errorf("baseline: STRUNK has no coefficients for %v", r.Role)
+	}
+	if r.VMMem <= 0 {
+		return 0, fmt.Errorf("baseline: run %s has no VM memory size", r.RunID)
+	}
+	e := alpha*float64(r.VMMem) + s.Beta[r.Role]*float64(r.MeanBandwidth) + s.C[r.Role]
+	if e < 0 {
+		e = 0
+	}
+	return units.Joules(e), nil
+}
+
+// Compile-time interface checks.
+var (
+	_ core.EnergyModel = (*Huang)(nil)
+	_ core.EnergyModel = (*Liu)(nil)
+	_ core.EnergyModel = (*Strunk)(nil)
+)

@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/migration"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// mkRecord builds a run whose power follows P = alpha·CPU(v) + c exactly
+// and whose aggregates (bytes, mem, bandwidth) follow the given values.
+func mkRecord(role core.Role, id string, seed int64, alpha, c float64,
+	bytes units.Bytes, mem units.Bytes, bw units.BitsPerSecond, n int) *core.RunRecord {
+	rng := rand.New(rand.NewSource(seed))
+	rec := &core.RunRecord{
+		Pair: "m01-m02", Kind: migration.Live, Role: role, RunID: id,
+		BytesSent: bytes, VMMem: mem, MeanBandwidth: bw,
+	}
+	pt := &trace.PowerTrace{}
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * 500 * time.Millisecond
+		cpu := units.Utilisation(rng.Float64() * 32)
+		p := units.Watts(alpha*float64(cpu) + c)
+		rec.Obs = append(rec.Obs, trace.Observation{
+			At: at, Phase: trace.PhaseTransfer, Power: p,
+			FeatureSample: trace.FeatureSample{At: at, HostCPU: cpu, VMCPU: cpu / 8},
+		})
+		_ = pt.Append(at, p)
+	}
+	rec.MeasuredEnergy = pt.Energy()
+	return rec
+}
+
+// liuDataset builds runs whose measured energy is exactly eAlpha·bytes +
+// eC, with varying transfer sizes.
+func liuDataset(eAlpha, eC float64, runs int) *core.Dataset {
+	ds := &core.Dataset{}
+	for i := 0; i < runs; i++ {
+		for _, role := range core.Roles() {
+			bytes := units.Bytes(int64(i+1) * 500_000_000)
+			rec := mkRecord(role, "liu", int64(i*2+int(role)+1), 2, 500,
+				bytes, 4*units.GiB, 600e6, 20+i)
+			rec.MeasuredEnergy = units.Joules(eAlpha*float64(bytes) + eC)
+			_ = ds.Add(rec)
+		}
+	}
+	return ds
+}
+
+func TestHuangRecoversCoefficients(t *testing.T) {
+	ds := &core.Dataset{}
+	for i := 0; i < 5; i++ {
+		_ = ds.Add(mkRecord(core.Source, "h", int64(i+1), 2.27, 671.9, 1e9, 4*units.GiB, 600e6, 60))
+		_ = ds.Add(mkRecord(core.Target, "h", int64(i+10), 2.56, 645.8, 1e9, 4*units.GiB, 600e6, 60))
+	}
+	h, err := TrainHuang(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Alpha[core.Source]-2.27) > 1e-6 || math.Abs(h.C[core.Source]-671.9) > 1e-6 {
+		t.Errorf("source fit = (%v, %v), want (2.27, 671.9)", h.Alpha[core.Source], h.C[core.Source])
+	}
+	if math.Abs(h.Alpha[core.Target]-2.56) > 1e-6 || math.Abs(h.C[core.Target]-645.8) > 1e-6 {
+		t.Errorf("target fit = (%v, %v), want (2.56, 645.8)", h.Alpha[core.Target], h.C[core.Target])
+	}
+	if h.Name() != "HUANG" {
+		t.Error("name wrong")
+	}
+}
+
+func TestHuangPredictMatchesGeneratedEnergy(t *testing.T) {
+	ds := &core.Dataset{}
+	for i := 0; i < 4; i++ {
+		_ = ds.Add(mkRecord(core.Source, "h", int64(i+1), 2.0, 650, 1e9, 4*units.GiB, 600e6, 60))
+		_ = ds.Add(mkRecord(core.Target, "h", int64(i+20), 2.0, 650, 1e9, 4*units.GiB, 600e6, 60))
+	}
+	h, err := TrainHuang(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ds.Runs[0]
+	got, err := h.PredictEnergy(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got-rec.MeasuredEnergy)) > 1e-6*float64(rec.MeasuredEnergy) {
+		t.Errorf("predicted %v, measured %v", got, rec.MeasuredEnergy)
+	}
+}
+
+func TestHuangConstantVMCPUFallsBack(t *testing.T) {
+	// Constant host CPU everywhere → rank-deficient design → constant
+	// model at the mean power.
+	ds := &core.Dataset{}
+	for i := 0; i < 3; i++ {
+		rec := mkRecord(core.Source, "h", int64(i+1), 2.0, 650, 1e9, 4*units.GiB, 600e6, 40)
+		_ = ds.Add(rec)
+		trec := mkRecord(core.Target, "h", int64(i+30), 0, 600, 1e9, 4*units.GiB, 600e6, 40)
+		for j := range trec.Obs {
+			trec.Obs[j].HostCPU = 2.5
+			trec.Obs[j].Power = 600
+		}
+		_ = ds.Add(trec)
+	}
+	h, err := TrainHuang(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Alpha[core.Target] != 0 {
+		t.Errorf("degenerate target alpha = %v, want 0", h.Alpha[core.Target])
+	}
+	if math.Abs(h.C[core.Target]-600) > 1e-9 {
+		t.Errorf("degenerate target C = %v, want 600 (mean power)", h.C[core.Target])
+	}
+}
+
+func TestHuangValidation(t *testing.T) {
+	if _, err := TrainHuang(nil); err == nil {
+		t.Error("nil dataset must fail")
+	}
+	if _, err := TrainHuang(&core.Dataset{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	h := &Huang{Alpha: map[core.Role]float64{}, C: map[core.Role]float64{}}
+	rec := mkRecord(core.Source, "x", 1, 2, 650, 1e9, 4*units.GiB, 600e6, 10)
+	if _, err := h.PredictEnergy(rec); err == nil {
+		t.Error("missing role coefficients must fail")
+	}
+}
+
+func TestLiuRecoversCoefficients(t *testing.T) {
+	ds := liuDataset(2.4e-6, 494.2, 6)
+	l, err := TrainLiu(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Alpha[core.Source]-2.4e-6) > 1e-12 {
+		t.Errorf("alpha = %v, want 2.4e-6", l.Alpha[core.Source])
+	}
+	if math.Abs(l.C[core.Source]-494.2) > 1e-4 {
+		t.Errorf("C = %v, want 494.2", l.C[core.Source])
+	}
+	if l.Name() != "LIU" {
+		t.Error("name wrong")
+	}
+	// Prediction is exact on the generating line.
+	rec := ds.Runs[0]
+	got, err := l.PredictEnergy(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got-rec.MeasuredEnergy)) > 1e-6*float64(rec.MeasuredEnergy) {
+		t.Errorf("predicted %v, measured %v", got, rec.MeasuredEnergy)
+	}
+}
+
+func TestLiuValidation(t *testing.T) {
+	if _, err := TrainLiu(&core.Dataset{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	l := &Liu{Alpha: map[core.Role]float64{core.Source: 1}, C: map[core.Role]float64{core.Source: 0}}
+	rec := mkRecord(core.Source, "x", 1, 2, 650, 0, 4*units.GiB, 600e6, 10)
+	if _, err := l.PredictEnergy(rec); err == nil {
+		t.Error("record without DATA measurement must fail")
+	}
+	rec2 := mkRecord(core.Target, "x", 1, 2, 650, 1e9, 4*units.GiB, 600e6, 10)
+	if _, err := l.PredictEnergy(rec2); err == nil {
+		t.Error("missing role must fail")
+	}
+}
+
+func TestStrunkRecoversPlane(t *testing.T) {
+	// Energy = a·MEM + b·BW + c with both regressors varying.
+	a, b, c := 3.35e-9, -3.47e-7, 201.1
+	ds := &core.Dataset{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		for _, role := range core.Roles() {
+			mem := units.Bytes(int64(1+rng.Intn(8)) * int64(units.GiB))
+			bw := units.BitsPerSecond(3e8 + rng.Float64()*5e8)
+			rec := mkRecord(role, "s", int64(i*2+int(role)+1), 2, 500, 1e9, mem, bw, 20)
+			rec.MeasuredEnergy = units.Joules(a*float64(mem) + b*float64(bw) + c)
+			_ = ds.Add(rec)
+		}
+	}
+	s, err := TrainStrunk(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Alpha[core.Source]-a) > 1e-13 {
+		t.Errorf("alpha = %v, want %v", s.Alpha[core.Source], a)
+	}
+	if math.Abs(s.Beta[core.Source]-b) > 1e-11 {
+		t.Errorf("beta = %v, want %v", s.Beta[core.Source], b)
+	}
+	if math.Abs(s.C[core.Source]-c) > 1e-4 {
+		t.Errorf("C = %v, want %v", s.C[core.Source], c)
+	}
+	if s.Name() != "STRUNK" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStrunkConstantMemFallsBack(t *testing.T) {
+	// All runs migrate the same 4 GiB VM: the MEM column is collinear with
+	// the intercept; the model must drop it rather than fail.
+	ds := &core.Dataset{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 8; i++ {
+		for _, role := range core.Roles() {
+			bw := units.BitsPerSecond(3e8 + rng.Float64()*5e8)
+			rec := mkRecord(role, "s", int64(i*2+int(role)+1), 2, 500, 1e9, 4*units.GiB, bw, 20)
+			rec.MeasuredEnergy = units.Joules(1e-7*float64(bw) + 300)
+			_ = ds.Add(rec)
+		}
+	}
+	s, err := TrainStrunk(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alpha[core.Source] != 0 {
+		t.Errorf("constant-MEM alpha = %v, want 0", s.Alpha[core.Source])
+	}
+	if math.Abs(s.Beta[core.Source]-1e-7) > 1e-12 {
+		t.Errorf("beta = %v, want 1e-7", s.Beta[core.Source])
+	}
+	// Prediction works after the fallback.
+	if _, err := s.PredictEnergy(ds.Runs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrunkValidation(t *testing.T) {
+	if _, err := TrainStrunk(&core.Dataset{}); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	s := &Strunk{Alpha: map[core.Role]float64{core.Source: 1},
+		Beta: map[core.Role]float64{core.Source: 0}, C: map[core.Role]float64{core.Source: 0}}
+	rec := mkRecord(core.Source, "x", 1, 2, 650, 1e9, 0, 600e6, 10)
+	if _, err := s.PredictEnergy(rec); err == nil {
+		t.Error("record without VM memory must fail")
+	}
+}
+
+func TestPredictionsClampAtZero(t *testing.T) {
+	l := &Liu{Alpha: map[core.Role]float64{core.Source: -1}, C: map[core.Role]float64{core.Source: 0}}
+	rec := mkRecord(core.Source, "x", 1, 2, 650, 1e9, 4*units.GiB, 600e6, 10)
+	e, err := l.PredictEnergy(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("negative energy prediction %v must clamp to 0", e)
+	}
+}
+
+func TestStrunkConstantEverythingFallsBackToMean(t *testing.T) {
+	// Same VM size and same (unloaded) link in every training run: STRUNK
+	// degenerates to the constant model at the mean energy.
+	ds := &core.Dataset{}
+	for i := 0; i < 6; i++ {
+		for _, role := range core.Roles() {
+			rec := mkRecord(role, "s", int64(i*2+int(role)+1), 2, 500, 1e9, 4*units.GiB, 760e6, 20)
+			rec.MeasuredEnergy = units.Joules(30000 + float64(i)*1000)
+			_ = ds.Add(rec)
+		}
+	}
+	s, err := TrainStrunk(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alpha[core.Source] != 0 || s.Beta[core.Source] != 0 {
+		t.Errorf("degenerate STRUNK slopes = %v/%v, want 0/0", s.Alpha[core.Source], s.Beta[core.Source])
+	}
+	if s.C[core.Source] != 32500 {
+		t.Errorf("degenerate STRUNK C = %v, want mean 32500", s.C[core.Source])
+	}
+}

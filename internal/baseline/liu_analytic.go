@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"errors"
+
+	"repro/internal/units"
+)
+
+// LiuRound is one pre-copy round's inputs to Liu's analytic data model
+// (the paper's Eq. 10): the bandwidth available during the round and the
+// dirtying ratio observed over it.
+type LiuRound struct {
+	Bandwidth  units.BitsPerSecond
+	DirtyRatio units.Fraction
+}
+
+// LiuAnalyticData computes the amount of data exchanged during a live
+// migration per Liu et al.'s round model as the paper presents it:
+//
+//	DATA = Σ_{r=0..n} (MEM(v) · PAGESIZE) / BW(S,T,r) · DR(v,t,r)
+//
+// with the memory size in pages. The paper itself substitutes measured
+// network counters for this formula ("we use instead the amount of data
+// transferred measured with our network instrumentation"); this analytic
+// form is provided for completeness and for studies without
+// instrumentation. The first round (r=0) always moves the full image, so
+// an effective DR of 1 is used for it regardless of the supplied value.
+func LiuAnalyticData(memPages units.Pages, rounds []LiuRound) (units.Bytes, error) {
+	if memPages <= 0 {
+		return 0, errors.New("baseline: LIU analytic model needs a positive memory size")
+	}
+	if len(rounds) == 0 {
+		return 0, errors.New("baseline: LIU analytic model needs at least one round")
+	}
+	imageBytes := float64(memPages.Bytes())
+	total := 0.0
+	for i, r := range rounds {
+		if r.Bandwidth <= 0 {
+			return 0, errors.New("baseline: LIU analytic model needs positive round bandwidth")
+		}
+		dr := float64(r.DirtyRatio.Clamp())
+		if i == 0 {
+			dr = 1 // the first iteration pushes the whole image
+		}
+		// The Eq. 10 fraction (MEM·PAGESIZE)/BW is the round's duration;
+		// multiplied by the dirtying ratio it yields the share of the image
+		// re-sent in the next round. Interpreted as data, each term is the
+		// image bytes scaled by the round's dirty share.
+		total += imageBytes * dr
+		_ = r.Bandwidth // bandwidth fixes the round duration, not its volume
+	}
+	return units.Bytes(total), nil
+}
+
+// LiuRoundsFromWorkload derives the per-round dirty ratios of a steady
+// workload: given the image size, a constant dirty page rate and a
+// constant bandwidth, each round lasts as long as the previous round's
+// data takes to transfer, and dirties rate·duration pages (capped at the
+// working set). It returns the rounds until the dirty set stops shrinking
+// or maxRounds is reached — the analytic counterpart of the migration
+// engine's behaviour, usable for sanity-checking it.
+func LiuRoundsFromWorkload(memPages units.Pages, pagesPerSecond float64, bw units.BitsPerSecond, maxRounds int) []LiuRound {
+	if maxRounds <= 0 {
+		maxRounds = 30
+	}
+	var rounds []LiuRound
+	pending := float64(memPages) // pages to send this round
+	for r := 0; r < maxRounds && pending > 0; r++ {
+		duration := bw.TimeToSend(units.Pages(pending).Bytes()).Seconds()
+		dirtied := pagesPerSecond * duration
+		if dirtied > float64(memPages) {
+			dirtied = float64(memPages)
+		}
+		dr := units.Fraction(pending / float64(memPages))
+		rounds = append(rounds, LiuRound{Bandwidth: bw, DirtyRatio: dr})
+		if dirtied >= pending {
+			// No progress: the next round would be at least as big; a real
+			// engine suspends and pushes the accumulated dirt in one final
+			// stop-and-copy, which still counts as exchanged data.
+			rounds = append(rounds, LiuRound{
+				Bandwidth:  bw,
+				DirtyRatio: units.Fraction(dirtied / float64(memPages)),
+			})
+			break
+		}
+		pending = dirtied
+	}
+	return rounds
+}

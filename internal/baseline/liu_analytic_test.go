@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestLiuAnalyticDataSingleRound(t *testing.T) {
+	// One round = the whole image, regardless of the nominal DR.
+	mem := units.PagesOf(4 * units.GiB)
+	data, err := LiuAnalyticData(mem, []LiuRound{{Bandwidth: 600e6, DirtyRatio: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != mem.Bytes() {
+		t.Errorf("single round data = %v, want image %v", data, mem.Bytes())
+	}
+}
+
+func TestLiuAnalyticDataAccumulates(t *testing.T) {
+	mem := units.PagesOf(4 * units.GiB)
+	rounds := []LiuRound{
+		{Bandwidth: 600e6, DirtyRatio: 1},   // full image
+		{Bandwidth: 600e6, DirtyRatio: 0.5}, // half re-sent
+		{Bandwidth: 600e6, DirtyRatio: 0.25},
+	}
+	data, err := LiuAnalyticData(mem, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Bytes(float64(mem.Bytes()) * 1.75)
+	if data != want {
+		t.Errorf("data = %v, want %v", data, want)
+	}
+}
+
+func TestLiuAnalyticDataValidation(t *testing.T) {
+	if _, err := LiuAnalyticData(0, []LiuRound{{Bandwidth: 1}}); err == nil {
+		t.Error("zero memory must fail")
+	}
+	if _, err := LiuAnalyticData(100, nil); err == nil {
+		t.Error("no rounds must fail")
+	}
+	if _, err := LiuAnalyticData(100, []LiuRound{{Bandwidth: 0}}); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+}
+
+func TestLiuRoundsFromWorkloadConverges(t *testing.T) {
+	mem := units.PagesOf(4 * units.GiB) // ~1M pages
+	// Slow dirtier: rounds shrink geometrically and terminate quickly.
+	rounds := LiuRoundsFromWorkload(mem, 5_000, 600e6, 30)
+	if len(rounds) < 2 {
+		t.Fatalf("quiet workload produced %d rounds, want several", len(rounds))
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].DirtyRatio >= rounds[i-1].DirtyRatio {
+			t.Errorf("round %d DR %v did not shrink from %v", i, rounds[i].DirtyRatio, rounds[i-1].DirtyRatio)
+		}
+	}
+}
+
+func TestLiuRoundsFromWorkloadStallsOnHeavyDirtier(t *testing.T) {
+	mem := units.PagesOf(4 * units.GiB)
+	// Dirtier faster than the link drains: the round list must terminate
+	// early (the engine's stop-and-copy condition) rather than iterate to
+	// the cap.
+	heavy := LiuRoundsFromWorkload(mem, 500_000, 600e6, 30)
+	if len(heavy) >= 30 {
+		t.Errorf("non-converging workload ran %d rounds, want early stall", len(heavy))
+	}
+	// Analytic data for the heavy case exceeds one image.
+	data, err := LiuAnalyticData(mem, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data <= mem.Bytes() {
+		t.Errorf("heavy dirtier analytic data %v must exceed one image %v", data, mem.Bytes())
+	}
+}
+
+func TestLiuAnalyticAgreesWithEngineOrder(t *testing.T) {
+	// The analytic round model and the real engine agree on the ordering:
+	// more dirtying → more data.
+	mem := units.PagesOf(4 * units.GiB)
+	quiet, err := LiuAnalyticData(mem, LiuRoundsFromWorkload(mem, 5_000, 600e6, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := LiuAnalyticData(mem, LiuRoundsFromWorkload(mem, 60_000, 600e6, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy <= quiet {
+		t.Errorf("busy analytic data %v must exceed quiet %v", busy, quiet)
+	}
+}

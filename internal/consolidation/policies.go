@@ -1,0 +1,229 @@
+package consolidation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// EnergyAware is the paper-aligned policy: it tries to empty the least
+// loaded hosts, pricing every candidate move with the migration energy
+// model and choosing, per VM, the admissible target with the lowest
+// predicted energy. A move is only taken when the host being drained can
+// be fully emptied — half-drained hosts save nothing.
+type EnergyAware struct {
+	Model CostModel
+}
+
+// Name implements Policy.
+func (EnergyAware) Name() string { return "energy-aware" }
+
+// Plan implements Policy.
+func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
+	if p.Model == nil {
+		return nil, errors.New("consolidation: energy-aware policy needs a cost model")
+	}
+	if err := validateHosts(hosts); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	work := cloneHosts(hosts)
+	plan := &Plan{}
+	received := map[string]bool{} // hosts that gained VMs this round
+
+	// Drain candidates: least loaded first (cheapest to empty).
+	order := make([]string, len(work))
+	for i, h := range work {
+		order[i] = h.Name
+	}
+	sort.Slice(order, func(i, j int) bool {
+		hi, hj := hostByName(work, order[i]), hostByName(work, order[j])
+		if hi.BusyThreads() != hj.BusyThreads() {
+			return hi.BusyThreads() < hj.BusyThreads()
+		}
+		return hi.Name < hj.Name
+	})
+
+	for _, srcName := range order {
+		src := hostByName(work, srcName)
+		if len(src.VMs) == 0 {
+			continue
+		}
+		// A host that just received migrations is pinned for this round:
+		// re-draining it would move VMs twice and burn energy for nothing.
+		if received[srcName] {
+			continue
+		}
+		moves, ok, err := p.drain(work, src, cfg, len(plan.Moves))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // cannot fully empty this host; leave it untouched
+		}
+		// Worth-it check: the freed idle power must amortise the drain's
+		// energy within the configured horizon.
+		var drainCost units.Joules
+		for _, m := range moves {
+			drainCost += m.Cost.Energy
+		}
+		if drainCost > units.EnergyOver(src.IdlePower, cfg.Horizon) {
+			continue
+		}
+		// Commit: execute the drain against the working state.
+		for _, m := range moves {
+			vm, found := removeVM(hostByName(work, m.From), m.VM)
+			if !found {
+				return nil, fmt.Errorf("consolidation: internal error, VM %q vanished", m.VM)
+			}
+			dst := hostByName(work, m.To)
+			dst.VMs = append(dst.VMs, vm)
+			plan.Moves = append(plan.Moves, m)
+			received[m.To] = true
+		}
+		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
+			break
+		}
+	}
+	finishPlan(plan, work)
+	return plan, nil
+}
+
+// drain plans the complete evacuation of src, tentatively, against a copy
+// of the working state. It returns ok=false when some VM has no admissible
+// target or the move budget would be exceeded.
+func (p EnergyAware) drain(work []HostState, src *HostState, cfg Config, movesSoFar int) ([]Move, bool, error) {
+	tmp := cloneHosts(work)
+	tmpSrc := hostByName(tmp, src.Name)
+	var moves []Move
+
+	// Biggest VMs first: they are the hardest to place.
+	vms := append([]VMState(nil), tmpSrc.VMs...)
+	sort.Slice(vms, func(i, j int) bool {
+		if vms[i].BusyVCPUs != vms[j].BusyVCPUs {
+			return vms[i].BusyVCPUs > vms[j].BusyVCPUs
+		}
+		return vms[i].Name < vms[j].Name
+	})
+
+	for _, vm := range vms {
+		if cfg.MaxMoves > 0 && movesSoFar+len(moves) >= cfg.MaxMoves {
+			return nil, false, nil
+		}
+		best := -1
+		var bestCost MigrationCost
+		for i := range tmp {
+			dst := &tmp[i]
+			if dst.Name == src.Name {
+				continue
+			}
+			// Never wake an already-empty host to fill it: that defeats
+			// consolidation.
+			if len(dst.VMs) == 0 {
+				continue
+			}
+			if !dst.fits(vm, cfg.CPUCap) {
+				continue
+			}
+			cost, err := p.Model.Cost(vm, tmpSrc.BusyThreads()-vm.BusyVCPUs, dst.BusyThreads())
+			if err != nil {
+				return nil, false, err
+			}
+			if best < 0 || cost.Energy < bestCost.Energy {
+				best = i
+				bestCost = cost
+			}
+		}
+		if best < 0 {
+			return nil, false, nil
+		}
+		moved, found := removeVM(tmpSrc, vm.Name)
+		if !found {
+			return nil, false, fmt.Errorf("consolidation: internal error draining %q", vm.Name)
+		}
+		tmp[best].VMs = append(tmp[best].VMs, moved)
+		moves = append(moves, Move{VM: vm.Name, From: src.Name, To: tmp[best].Name, Cost: bestCost})
+	}
+	return moves, true, nil
+}
+
+// FirstFitDecreasing is the energy-blind baseline: sort all VMs by CPU
+// demand and re-pack them onto hosts first-fit, then express the result as
+// moves. It is the classic bin-packing consolidation the related work uses
+// and the paper's argument target — it never looks at migration energy, so
+// it will happily move a 95%-dirty VM onto a busy host.
+type FirstFitDecreasing struct {
+	// Model, when set, prices the resulting moves (for comparison); the
+	// policy itself ignores the prices.
+	Model CostModel
+}
+
+// Name implements Policy.
+func (FirstFitDecreasing) Name() string { return "first-fit-decreasing" }
+
+// Plan implements Policy.
+func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
+	if err := validateHosts(hosts); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	work := cloneHosts(hosts)
+	plan := &Plan{}
+
+	// Gather every VM with its origin.
+	type placed struct {
+		vm   VMState
+		from string
+	}
+	var all []placed
+	for _, h := range work {
+		for _, v := range h.VMs {
+			all = append(all, placed{v, h.Name})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].vm.BusyVCPUs != all[j].vm.BusyVCPUs {
+			return all[i].vm.BusyVCPUs > all[j].vm.BusyVCPUs
+		}
+		return all[i].vm.Name < all[j].vm.Name
+	})
+
+	// Re-pack into empty bins in host order.
+	bins := cloneHosts(hosts)
+	for i := range bins {
+		bins[i].VMs = nil
+	}
+	for _, pl := range all {
+		placedAt := ""
+		for i := range bins {
+			if bins[i].fits(pl.vm, cfg.CPUCap) {
+				bins[i].VMs = append(bins[i].VMs, pl.vm)
+				placedAt = bins[i].Name
+				break
+			}
+		}
+		if placedAt == "" {
+			return nil, fmt.Errorf("consolidation: FFD cannot place VM %q", pl.vm.Name)
+		}
+		if placedAt != pl.from {
+			move := Move{VM: pl.vm.Name, From: pl.from, To: placedAt}
+			if p.Model != nil {
+				srcBusy := hostByName(work, pl.from).BusyThreads() - pl.vm.BusyVCPUs
+				dstBusy := hostByName(bins, placedAt).BusyThreads() - pl.vm.BusyVCPUs
+				cost, err := p.Model.Cost(pl.vm, srcBusy, dstBusy)
+				if err != nil {
+					return nil, err
+				}
+				move.Cost = cost
+			}
+			plan.Moves = append(plan.Moves, move)
+			if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
+				break
+			}
+		}
+	}
+	finishPlan(plan, bins)
+	return plan, nil
+}

@@ -1,0 +1,156 @@
+// Package dcsim closes the loop between planning and physics: it takes a
+// consolidation plan (a list of VM moves chosen by some policy) and
+// executes every move as a full migration simulation on the two-host
+// testbed, returning *measured* energies rather than model predictions.
+// This is how the reproduction demonstrates the paper's end claim — that
+// energy-aware consolidation decisions, made with WAVM3 predictions,
+// actually save energy when the migrations are carried out.
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// MoveResult is the measured outcome of executing one planned move.
+type MoveResult struct {
+	Move consolidation.Move
+	// MeasuredEnergy is the metered source+target migration energy.
+	MeasuredEnergy units.Joules
+	// Duration is the measured migration span.
+	Duration time.Duration
+	// BytesSent is the state data actually moved.
+	BytesSent units.Bytes
+}
+
+// ExecutionReport aggregates a plan's measured cost.
+type ExecutionReport struct {
+	Policy  string
+	Moves   []MoveResult
+	Total   units.Joules
+	Elapsed time.Duration
+}
+
+// Executor maps abstract consolidation moves onto testbed simulations.
+type Executor struct {
+	// Pair selects the simulated machine pair (hw.PairM by default).
+	Pair string
+	// Kind is the migration mechanism used for every move (Live default).
+	Kind migration.Kind
+	// Seed pins the simulations.
+	Seed int64
+}
+
+// scenarioFor translates one move into a testbed scenario: the moved VM's
+// dirty ratio selects the migrating workload, and the residual busy
+// threads of both hosts are approximated with load-cpu VMs (4 vCPUs each,
+// matching the paper's load staircase granularity).
+func (e Executor) scenarioFor(m consolidation.Move, vmState consolidation.VMState, srcBusy, dstBusy float64, idx int) (sim.Scenario, error) {
+	if srcBusy < 0 || dstBusy < 0 {
+		return sim.Scenario{}, fmt.Errorf("dcsim: negative residual load for move %v", m)
+	}
+	pair := e.Pair
+	if pair == "" {
+		pair = hw.PairM
+	}
+	sc := sim.Scenario{
+		Name:          fmt.Sprintf("dcsim/%s->%s/%s", m.From, m.To, m.VM),
+		Pair:          pair,
+		Kind:          e.Kind,
+		SourceLoadVMs: int(math.Round(srcBusy / 4)),
+		TargetLoadVMs: int(math.Round(dstBusy / 4)),
+		Seed:          e.Seed + int64(idx)*607,
+	}
+	if vmState.DirtyRatio > 0.2 {
+		sc.MigratingType = vm.TypeMigratingMem
+		sc.MigratingProfile = workload.PagedirtierProfile(vmState.DirtyRatio)
+	} else {
+		sc.MigratingType = vm.TypeMigratingCPU
+		sc.MigratingProfile = workload.MatrixMultProfile()
+	}
+	return sc, nil
+}
+
+// ExecutePlan simulates every move of a plan in order against the evolving
+// data-centre state and returns the measured report. The hosts slice is
+// the *pre-plan* state; residual loads are tracked as moves execute.
+func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []consolidation.HostState) (*ExecutionReport, error) {
+	if plan == nil {
+		return nil, errors.New("dcsim: nil plan")
+	}
+	// Work on a copy of the state, indexed by name.
+	state := make(map[string]*consolidation.HostState, len(hosts))
+	for i := range hosts {
+		h := hosts[i]
+		h.VMs = append([]consolidation.VMState(nil), hosts[i].VMs...)
+		if _, dup := state[h.Name]; dup {
+			return nil, fmt.Errorf("dcsim: duplicate host %q", h.Name)
+		}
+		state[h.Name] = &h
+	}
+	rep := &ExecutionReport{Policy: policy}
+	for i, mv := range plan.Moves {
+		src, ok := state[mv.From]
+		if !ok {
+			return nil, fmt.Errorf("dcsim: move %d references unknown host %q", i, mv.From)
+		}
+		dst, ok := state[mv.To]
+		if !ok {
+			return nil, fmt.Errorf("dcsim: move %d references unknown host %q", i, mv.To)
+		}
+		var vmState consolidation.VMState
+		found := false
+		for j, v := range src.VMs {
+			if v.Name == mv.VM {
+				vmState = v
+				src.VMs = append(src.VMs[:j], src.VMs[j+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dcsim: move %d: VM %q not on %q", i, mv.VM, mv.From)
+		}
+
+		srcBusy := busyOf(src) // residual, the VM already removed
+		dstBusy := busyOf(dst)
+		sc, err := e.scenarioFor(mv, vmState, srcBusy, dstBusy, i)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: executing move %d (%s): %w", i, sc.Name, err)
+		}
+		dst.VMs = append(dst.VMs, vmState)
+
+		res := MoveResult{
+			Move:           mv,
+			MeasuredEnergy: run.SourceEnergy.Total() + run.TargetEnergy.Total(),
+			Duration:       run.Bounds.ME - run.Bounds.MS,
+			BytesSent:      run.BytesSent,
+		}
+		rep.Moves = append(rep.Moves, res)
+		rep.Total += res.MeasuredEnergy
+		rep.Elapsed += res.Duration
+	}
+	return rep, nil
+}
+
+func busyOf(h *consolidation.HostState) float64 {
+	s := 0.0
+	for _, v := range h.VMs {
+		s += v.BusyVCPUs
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package dcsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/migration"
+	"repro/internal/units"
+)
+
+func gib(n int) units.Bytes { return units.Bytes(n) * units.GiB }
+
+// stubCost prices moves the way WAVM3 qualitatively does, for planning.
+type stubCost struct{}
+
+func (stubCost) Cost(vm consolidation.VMState, srcBusy, dstBusy float64) (consolidation.MigrationCost, error) {
+	gb := float64(vm.MemBytes) / float64(units.GiB)
+	expansion := 1 + 2*float64(vm.DirtyRatio)
+	slowdown := 1 + dstBusy/32 + srcBusy/64
+	return consolidation.MigrationCost{
+		Energy:   units.Joules(15_000 * gb * expansion * slowdown),
+		Duration: time.Duration(40 * expansion * slowdown * float64(time.Second)),
+	}, nil
+}
+
+// testDC is a data centre where the two policies make different choices:
+// a dirty-memory VM that FFD routes to the busy first-fit host.
+func testDC() []consolidation.HostState {
+	return []consolidation.HostState{
+		{Name: "busy", Threads: 32, MemBytes: gib(64), IdlePower: 440, VMs: []consolidation.VMState{
+			{Name: "y", MemBytes: gib(4), BusyVCPUs: 20, DirtyRatio: 0.1},
+		}},
+		{Name: "calm", Threads: 32, MemBytes: gib(64), IdlePower: 440, VMs: []consolidation.VMState{
+			{Name: "x", MemBytes: gib(4), BusyVCPUs: 4, DirtyRatio: 0.1},
+		}},
+		{Name: "drainme", Threads: 32, MemBytes: gib(64), IdlePower: 440, VMs: []consolidation.VMState{
+			{Name: "dirty", MemBytes: gib(4), BusyVCPUs: 2, DirtyRatio: 0.9},
+		}},
+	}
+}
+
+func TestExecutePlanMeasuresMoves(t *testing.T) {
+	hosts := testDC()
+	plan, err := consolidation.EnergyAware{Model: stubCost{}}.Plan(hosts, consolidation.Config{Horizon: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("planning produced no moves")
+	}
+	ex := Executor{Kind: migration.Live, Seed: 71}
+	rep, err := ex.ExecutePlan("energy-aware", plan, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != len(plan.Moves) {
+		t.Fatalf("executed %d of %d moves", len(rep.Moves), len(plan.Moves))
+	}
+	var sum units.Joules
+	for _, m := range rep.Moves {
+		if m.MeasuredEnergy <= 0 || m.Duration <= 0 || m.BytesSent <= 0 {
+			t.Errorf("move %v has degenerate measurements: %+v", m.Move.VM, m)
+		}
+		sum += m.MeasuredEnergy
+	}
+	if sum != rep.Total {
+		t.Errorf("total %v != sum of moves %v", rep.Total, sum)
+	}
+}
+
+// TestEnergyAwareBeatsFFDMeasured is the reproduction's end-to-end claim:
+// when both policies' plans are *executed* on the simulated testbed, the
+// energy-aware plan's measured migration energy undercuts the
+// first-fit-decreasing plan's, provided both free the same hosts.
+func TestEnergyAwareBeatsFFDMeasured(t *testing.T) {
+	hosts := testDC()
+	ea, err := consolidation.EnergyAware{Model: stubCost{}}.Plan(hosts, consolidation.Config{Horizon: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffd, err := consolidation.FirstFitDecreasing{Model: stubCost{}}.Plan(hosts, consolidation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precondition for a fair comparison: the dirty VM moves in both plans
+	// but to different hosts.
+	target := func(p *consolidation.Plan) string {
+		for _, m := range p.Moves {
+			if m.VM == "dirty" {
+				return m.To
+			}
+		}
+		return ""
+	}
+	if target(ea) == "" || target(ffd) == "" || target(ea) == target(ffd) {
+		t.Fatalf("topology no longer separates the policies: ea->%q ffd->%q", target(ea), target(ffd))
+	}
+
+	ex := Executor{Kind: migration.Live, Seed: 72}
+	eaRep, err := ex.ExecutePlan("energy-aware", ea, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffdRep, err := ex.ExecutePlan("ffd", ffd, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the measured cost of moving the dirty VM specifically: the
+	// policies chose different targets for it.
+	dirtyCost := func(r *ExecutionReport) units.Joules {
+		for _, m := range r.Moves {
+			if m.Move.VM == "dirty" {
+				return m.MeasuredEnergy
+			}
+		}
+		return 0
+	}
+	eaDirty, ffdDirty := dirtyCost(eaRep), dirtyCost(ffdRep)
+	if eaDirty <= 0 || ffdDirty <= 0 {
+		t.Fatal("dirty VM move missing from a report")
+	}
+	if eaDirty >= ffdDirty {
+		t.Errorf("measured: energy-aware dirty move %v !< FFD's %v", eaDirty, ffdDirty)
+	}
+}
+
+func TestExecutePlanValidation(t *testing.T) {
+	ex := Executor{}
+	if _, err := ex.ExecutePlan("x", nil, testDC()); err == nil {
+		t.Error("nil plan must fail")
+	}
+	plan := &consolidation.Plan{Moves: []consolidation.Move{{VM: "ghost", From: "busy", To: "calm"}}}
+	if _, err := ex.ExecutePlan("x", plan, testDC()); err == nil {
+		t.Error("move of unknown VM must fail")
+	}
+	plan = &consolidation.Plan{Moves: []consolidation.Move{{VM: "y", From: "nowhere", To: "calm"}}}
+	if _, err := ex.ExecutePlan("x", plan, testDC()); err == nil {
+		t.Error("unknown source host must fail")
+	}
+	plan = &consolidation.Plan{Moves: []consolidation.Move{{VM: "y", From: "busy", To: "nowhere"}}}
+	if _, err := ex.ExecutePlan("x", plan, testDC()); err == nil {
+		t.Error("unknown target host must fail")
+	}
+	// Empty plan executes trivially.
+	rep, err := ex.ExecutePlan("x", &consolidation.Plan{}, testDC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 0 || len(rep.Moves) != 0 {
+		t.Error("empty plan must measure nothing")
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Suite holds everything the evaluation tables need: campaigns on both
+// machine pairs, the trained WAVM3 and baseline models, and the train/test
+// split on the m-pair data.
+type Suite struct {
+	// M and O are the campaigns on the two machine pairs; O may be nil
+	// when only the m-pair tables are wanted.
+	M, O *Campaign
+	// TrainM and TestM partition the m-pair runs (the paper trains on 20%).
+	TrainM, TestM *core.Dataset
+	// WAVM3 per migration kind (Tables III and IV).
+	WAVM3NonLive, WAVM3Live *core.Model
+	// The three baselines, trained once on the same training runs.
+	Huang  *baseline.Huang
+	Liu    *baseline.Liu
+	Strunk *baseline.Strunk
+	// IdleDelta is o-pair idle − m-pair idle, the C1→C2 shift.
+	IdleDelta units.Watts
+}
+
+// TrainFraction is the paper's training share of the campaign data.
+const TrainFraction = 0.20
+
+// BuildSuite trains all four models from an m-pair campaign and keeps an
+// optional o-pair campaign for cross-hardware validation.
+func BuildSuite(m, o *Campaign) (*Suite, error) {
+	if m == nil || m.Dataset == nil || m.Dataset.Len() == 0 {
+		return nil, errors.New("experiments: suite needs an m-pair campaign")
+	}
+	train, test, err := m.Dataset.SplitRuns(TrainFraction, m.Config.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{M: m, O: o, TrainM: train, TestM: test}
+
+	if s.WAVM3NonLive, err = core.Train(train, migration.NonLive); err != nil {
+		return nil, fmt.Errorf("experiments: training WAVM3 non-live: %w", err)
+	}
+	if s.WAVM3Live, err = core.Train(train, migration.Live); err != nil {
+		return nil, fmt.Errorf("experiments: training WAVM3 live: %w", err)
+	}
+	if s.Huang, err = baseline.TrainHuang(train); err != nil {
+		return nil, err
+	}
+	if s.Liu, err = baseline.TrainLiu(train); err != nil {
+		return nil, err
+	}
+	if s.Strunk, err = baseline.TrainStrunk(train); err != nil {
+		return nil, err
+	}
+
+	mSrc, _, err := hw.Pair(hw.PairM)
+	if err != nil {
+		return nil, err
+	}
+	oSrc, _, err := hw.Pair(hw.PairO)
+	if err != nil {
+		return nil, err
+	}
+	s.IdleDelta = oSrc.IdlePower() - mSrc.IdlePower()
+	return s, nil
+}
+
+// wavm3For returns the kind-matched WAVM3 model.
+func (s *Suite) wavm3For(kind migration.Kind) *core.Model {
+	if kind == migration.Live {
+		return s.WAVM3Live
+	}
+	return s.WAVM3NonLive
+}
+
+// CoeffRow is one row of Tables III/IV: a host's coefficients across the
+// three phases.
+type CoeffRow struct {
+	Host       string
+	Initiation core.PhaseCoeffs
+	Transfer   core.PhaseCoeffs
+	Activation core.PhaseCoeffs
+}
+
+// CoeffTable reproduces Table III (non-live) or IV (live).
+type CoeffTable struct {
+	ID   string
+	Kind migration.Kind
+	Rows []CoeffRow
+}
+
+// CoefficientTable extracts the fitted WAVM3 coefficients for one kind.
+func (s *Suite) CoefficientTable(kind migration.Kind) (*CoeffTable, error) {
+	m := s.wavm3For(kind)
+	if m == nil {
+		return nil, errors.New("experiments: model not trained")
+	}
+	id := "Table III"
+	if kind == migration.Live {
+		id = "Table IV"
+	}
+	t := &CoeffTable{ID: id, Kind: kind}
+	for _, role := range core.Roles() {
+		phases := m.Coeffs[role]
+		t.Rows = append(t.Rows, CoeffRow{
+			Host:       role.String(),
+			Initiation: phases[trace.PhaseInitiation],
+			Transfer:   phases[trace.PhaseTransfer],
+			Activation: phases[trace.PhaseActivation],
+		})
+	}
+	return t, nil
+}
+
+// NRMSECell is one entry of Table V.
+type NRMSECell struct {
+	Pair  string
+	Kind  migration.Kind
+	Role  core.Role
+	NRMSE float64
+}
+
+// NRMSETable reproduces Table V: WAVM3's NRMSE per host on both pairs and
+// both kinds. The o-pair prediction uses the bias-shifted model (C2).
+type NRMSETable struct {
+	ID    string
+	Cells []NRMSECell
+}
+
+// Table5 evaluates WAVM3 everywhere it is evaluated in the paper.
+func (s *Suite) Table5() (*NRMSETable, error) {
+	out := &NRMSETable{ID: "Table V"}
+	pairs := []struct {
+		name string
+		ds   *core.Dataset
+		bias units.Watts
+	}{
+		{hw.PairM, s.TestM, 0},
+	}
+	if s.O != nil {
+		pairs = append(pairs, struct {
+			name string
+			ds   *core.Dataset
+			bias units.Watts
+		}{hw.PairO, s.O.Dataset, s.IdleDelta})
+	}
+	for _, p := range pairs {
+		for _, kind := range []migration.Kind{migration.NonLive, migration.Live} {
+			model := s.wavm3For(kind).WithBiasShift(p.bias)
+			for _, role := range core.Roles() {
+				recs := p.ds.FilterPair(p.name, kind, role)
+				if len(recs) == 0 {
+					continue
+				}
+				rep, err := core.EvaluateEnergy(model, recs)
+				if err != nil {
+					return nil, err
+				}
+				out.Cells = append(out.Cells, NRMSECell{Pair: p.name, Kind: kind, Role: role, NRMSE: rep.NRMSE})
+			}
+		}
+	}
+	if len(out.Cells) == 0 {
+		return nil, errors.New("experiments: Table V has no cells (empty test sets)")
+	}
+	return out, nil
+}
+
+// BaselineCoeffRow is one row of Table VI.
+type BaselineCoeffRow struct {
+	Model string
+	Host  string
+	Alpha float64
+	Beta  float64 // only STRUNK uses it
+	C     float64
+}
+
+// Table6 extracts the baseline training coefficients.
+func (s *Suite) Table6() ([]BaselineCoeffRow, error) {
+	if s.Huang == nil || s.Liu == nil || s.Strunk == nil {
+		return nil, errors.New("experiments: baselines not trained")
+	}
+	var rows []BaselineCoeffRow
+	for _, role := range core.Roles() {
+		rows = append(rows, BaselineCoeffRow{Model: "HUANG", Host: role.String(),
+			Alpha: s.Huang.Alpha[role], C: s.Huang.C[role]})
+	}
+	for _, role := range core.Roles() {
+		rows = append(rows, BaselineCoeffRow{Model: "LIU", Host: role.String(),
+			Alpha: s.Liu.Alpha[role], C: s.Liu.C[role]})
+	}
+	for _, role := range core.Roles() {
+		rows = append(rows, BaselineCoeffRow{Model: "STRUNK", Host: role.String(),
+			Alpha: s.Strunk.Alpha[role], Beta: s.Strunk.Beta[role], C: s.Strunk.C[role]})
+	}
+	return rows, nil
+}
+
+// ComparisonRow is one row of Table VII: one model on one host, with the
+// three error metrics for both migration kinds.
+type ComparisonRow struct {
+	Model   string
+	Host    string
+	NonLive stats.ErrorReport
+	Live    stats.ErrorReport
+}
+
+// Table7 runs the model comparison on the m-pair test runs.
+func (s *Suite) Table7() ([]ComparisonRow, error) {
+	if s.TestM == nil || s.TestM.Len() == 0 {
+		return nil, errors.New("experiments: no test data for Table VII")
+	}
+	models := []core.EnergyModel{nil, s.Huang, s.Liu, s.Strunk} // nil slot = WAVM3 per kind
+	names := []string{core.ModelName, "HUANG", "LIU", "STRUNK"}
+	var rows []ComparisonRow
+	for i, m := range models {
+		for _, role := range core.Roles() {
+			row := ComparisonRow{Model: names[i], Host: role.String()}
+			for _, kind := range []migration.Kind{migration.NonLive, migration.Live} {
+				recs := s.TestM.Filter(kind, role)
+				if len(recs) == 0 {
+					return nil, fmt.Errorf("experiments: no %v/%v test records", kind, role)
+				}
+				model := m
+				if model == nil {
+					model = s.wavm3For(kind)
+				}
+				rep, err := core.EvaluateEnergy(model, recs)
+				if err != nil {
+					return nil, err
+				}
+				if kind == migration.Live {
+					row.Live = rep
+				} else {
+					row.NonLive = rep
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// CrossValidateLive runs k-fold cross-validation of the live WAVM3 model
+// over the whole m-pair campaign — an extension over the paper's single
+// 20/80 split that checks the reported accuracy is not split luck.
+func (s *Suite) CrossValidateLive(k int) (*core.CVResult, error) {
+	if s.M == nil || s.M.Dataset == nil {
+		return nil, errors.New("experiments: no m-pair campaign for cross-validation")
+	}
+	return core.CrossValidate(s.M.Dataset, migration.Live, k, s.M.Config.Seed+29)
+}

@@ -1,0 +1,89 @@
+package migration
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vm"
+)
+
+// PostCopy is an extension beyond the paper (its future-work section):
+// the third migration mechanism implemented by modern hypervisors. The
+// guest is suspended briefly at the start of the transfer, its execution
+// context switches to the target immediately, and the memory image is
+// then pulled over the network while the guest already runs on the
+// target. Downtime is the context switch alone; exactly one copy of the
+// image crosses the wire regardless of the dirtying rate — the property
+// that makes post-copy attractive precisely where the paper shows
+// pre-copy degenerating (high dirty ratios).
+const PostCopy Kind = 2
+
+// postCopyString extends Kind.String; see String in migration.go.
+func postCopyString(k Kind) (string, bool) {
+	if k == PostCopy {
+		return "post-copy", true
+	}
+	return "", false
+}
+
+// startPostCopy handles Engine.Start for the post-copy mechanism: the
+// guest enters migrating mode (its page faults will be served remotely)
+// but keeps running through initiation.
+func (e *Engine) startPostCopy() error {
+	return e.guest.BeginMigration()
+}
+
+// beginPostCopyTransfer switches execution to the target and opens the
+// single image pull. The brief suspension models the context switch; the
+// guest resumes on the target within the same step.
+func (e *Engine) beginPostCopyTransfer(now time.Duration) error {
+	e.bounds.TS = now
+	e.phaseStart = now
+
+	// Context switch: suspend, move placement, resume on the target.
+	if err := e.guest.Suspend(); err != nil {
+		return err
+	}
+	e.suspended = true
+	e.suspendedAt = now
+	name := e.guest.Name
+	if err := e.src.Detach(name); err != nil {
+		return err
+	}
+	if err := e.dst.Attach(e.guest); err != nil {
+		return err
+	}
+	if err := e.guest.Resume(); err != nil {
+		return err
+	}
+	// Downtime is one simulation step's worth of switch latency.
+	e.downtime = postCopySwitchLatency
+	e.moved = true
+
+	full := e.guest.Memory.TotalPages().Bytes()
+	s, err := netsim.NewStream(full)
+	if err != nil {
+		return err
+	}
+	e.stream = s
+	e.st = stateTransfer
+	return nil
+}
+
+// postCopySwitchLatency is the execution-context switch downtime.
+const postCopySwitchLatency = 300 * time.Millisecond
+
+// finishPostCopy completes a post-copy migration: the guest already runs
+// on the target, so only the source-side cleanup remains.
+func (e *Engine) finishPostCopy(now time.Duration) error {
+	e.bounds.ME = now
+	if e.guest.State() == vm.StateMigrating {
+		if err := e.guest.EndMigration(); err != nil {
+			return err
+		}
+	}
+	e.src.SetMigrationActive(false)
+	e.dst.SetMigrationActive(false)
+	e.st = stateDone
+	return nil
+}

@@ -1,0 +1,104 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func TestPostCopyBasics(t *testing.T) {
+	r := newRig(t, vm.TypeMigratingMem, workload.PagedirtierProfile(0.95), 21)
+	e, err := New(Config{Kind: PostCopy}, r.src, r.dst, r.guest.Name, r.link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.drive(t, e)
+
+	// Exactly one image crosses the wire, independent of the dirty rate —
+	// the defining property of post-copy.
+	want := r.guest.Memory.TotalPages().Bytes()
+	if e.BytesSent() != want {
+		t.Errorf("post-copy sent %v, want exactly %v", e.BytesSent(), want)
+	}
+	// Downtime is the context switch only.
+	if e.Downtime() != postCopySwitchLatency {
+		t.Errorf("downtime = %v, want %v", e.Downtime(), postCopySwitchLatency)
+	}
+	// The guest ends on the target, running.
+	if _, onDst := r.dst.Guest(r.guest.Name); !onDst {
+		t.Error("guest not on target")
+	}
+	if r.guest.State() != vm.StateRunning {
+		t.Errorf("guest state = %v", r.guest.State())
+	}
+	if err := e.Boundaries().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostCopyGuestRunsOnTargetDuringTransfer(t *testing.T) {
+	r := newRig(t, vm.TypeMigratingCPU, workload.MatrixMultProfile(), 22)
+	e, err := New(Config{Kind: PostCopy}, r.src, r.dst, r.guest.Name, r.link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 100 * time.Millisecond
+	now := time.Duration(0)
+	if err := e.Start(now); err != nil {
+		t.Fatal(err)
+	}
+	sawOnTargetMidTransfer := false
+	for !e.Done() {
+		now += dt
+		sa, da := r.src.Schedule(), r.dst.Schedule()
+		if _, err := e.Step(now, dt, sa.MigrationShare(), da.MigrationShare()); err != nil {
+			t.Fatal(err)
+		}
+		r.src.Step(sa, dt.Seconds())
+		r.dst.Step(da, dt.Seconds())
+		if e.Phase().String() == "transfer" {
+			if _, onDst := r.dst.Guest(r.guest.Name); onDst && r.guest.Active() {
+				sawOnTargetMidTransfer = true
+			}
+		}
+		if now > 30*time.Minute {
+			t.Fatal("stuck")
+		}
+	}
+	if !sawOnTargetMidTransfer {
+		t.Error("post-copy guest must run on the target during the transfer phase")
+	}
+}
+
+func TestPostCopyBeatsPreCopyOnHighDirtyRatio(t *testing.T) {
+	// The regime where the paper shows pre-copy degenerating: post-copy
+	// must move far less data and suspend far shorter.
+	pre := newRig(t, vm.TypeMigratingMem, workload.PagedirtierProfile(0.95), 23)
+	ep, err := New(Config{Kind: Live}, pre.src, pre.dst, pre.guest.Name, pre.link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre.drive(t, ep)
+
+	post := newRig(t, vm.TypeMigratingMem, workload.PagedirtierProfile(0.95), 23)
+	eo, err := New(Config{Kind: PostCopy}, post.src, post.dst, post.guest.Name, post.link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.drive(t, eo)
+
+	if eo.BytesSent() >= ep.BytesSent() {
+		t.Errorf("post-copy sent %v, pre-copy %v — post-copy must send less", eo.BytesSent(), ep.BytesSent())
+	}
+	if eo.Downtime() >= ep.Downtime() {
+		t.Errorf("post-copy downtime %v, pre-copy %v — post-copy must be shorter", eo.Downtime(), ep.Downtime())
+	}
+}
+
+func TestPostCopyKindString(t *testing.T) {
+	if PostCopy.String() != "post-copy" {
+		t.Errorf("PostCopy.String() = %q", PostCopy.String())
+	}
+}

@@ -1,0 +1,211 @@
+// Package report renders the reproduction's tables and figure data as
+// plain text, in the same row/column arrangement as the paper, for the
+// cmd tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/migration"
+	"repro/internal/trace"
+)
+
+// Table renders rows of cells with padded columns and a header rule.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// f formats a float compactly (coefficients span 1e-7 … 1e3).
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.001 && v > -0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// pct renders a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// CoeffTable renders Table III or IV.
+func CoeffTable(t *experiments.CoeffTable) *Table {
+	out := &Table{
+		Title: fmt.Sprintf("%s: WAVM3 coefficients (%s migration)", t.ID, t.Kind),
+	}
+	if t.Kind == migration.Live {
+		out.Headers = []string{"Host", "α(i)", "β(i)", "C(i)", "α(t)", "β(t)", "γ(t)", "δ(t)", "C(t)", "α(a)", "β(a)", "C(a)"}
+		for _, r := range t.Rows {
+			out.AddRow(r.Host,
+				f(r.Initiation.Alpha), f(r.Initiation.Beta), f(r.Initiation.C),
+				f(r.Transfer.Alpha), f(r.Transfer.Beta), f(r.Transfer.Gamma), f(r.Transfer.Delta), f(r.Transfer.C),
+				f(r.Activation.Alpha), f(r.Activation.Beta), f(r.Activation.C))
+		}
+	} else {
+		out.Headers = []string{"Host", "α(i)", "β(i)", "C(i)", "α(t)", "β(t)", "C(t)", "α(a)", "β(a)", "C(a)"}
+		for _, r := range t.Rows {
+			out.AddRow(r.Host,
+				f(r.Initiation.Alpha), f(r.Initiation.Beta), f(r.Initiation.C),
+				f(r.Transfer.Alpha), f(r.Transfer.Beta), f(r.Transfer.C),
+				f(r.Activation.Alpha), f(r.Activation.Beta), f(r.Activation.C))
+		}
+	}
+	return out
+}
+
+// NRMSETable renders Table V.
+func NRMSETable(t *experiments.NRMSETable) *Table {
+	out := &Table{
+		Title:   fmt.Sprintf("%s: WAVM3 normalised root mean square error", t.ID),
+		Headers: []string{"Pair", "Migration", "Host", "NRMSE"},
+	}
+	for _, c := range t.Cells {
+		out.AddRow(c.Pair, c.Kind.String(), c.Role.String(), pct(c.NRMSE))
+	}
+	return out
+}
+
+// BaselineTable renders Table VI.
+func BaselineTable(rows []experiments.BaselineCoeffRow) *Table {
+	out := &Table{
+		Title:   "Table VI: training coefficients for HUANG, LIU and STRUNK",
+		Headers: []string{"Model", "Host", "α", "β", "C"},
+	}
+	for _, r := range rows {
+		beta := "-"
+		if r.Model == "STRUNK" {
+			beta = f(r.Beta)
+		}
+		out.AddRow(r.Model, r.Host, f(r.Alpha), beta, f(r.C))
+	}
+	return out
+}
+
+// ComparisonTable renders Table VII.
+func ComparisonTable(rows []experiments.ComparisonRow) *Table {
+	out := &Table{
+		Title: "Table VII: model comparison on dataset m01-m02",
+		Headers: []string{"Model", "Host",
+			"MAE(non-live) [kJ]", "RMSE(non-live) [kJ]", "NRMSE(non-live)",
+			"MAE(live) [kJ]", "RMSE(live) [kJ]", "NRMSE(live)"},
+	}
+	for _, r := range rows {
+		out.AddRow(r.Model, r.Host,
+			f(r.NonLive.MAE/1e3), f(r.NonLive.RMSE/1e3), pct(r.NonLive.NRMSE),
+			f(r.Live.MAE/1e3), f(r.Live.RMSE/1e3), pct(r.Live.NRMSE))
+	}
+	return out
+}
+
+// CrossValTable renders the k-fold cross-validation extension.
+func CrossValTable(cv *core.CVResult) *Table {
+	out := &Table{
+		Title:   fmt.Sprintf("Cross-validation: WAVM3 %s, %d folds (extension)", cv.Kind, cv.Folds),
+		Headers: []string{"Host", "mean NRMSE", "std NRMSE", "folds"},
+	}
+	for _, role := range core.Roles() {
+		out.AddRow(role.String(), pct(cv.MeanNRMSE(role)), pct(cv.StdNRMSE(role)),
+			fmt.Sprintf("%d", len(cv.PerRole[role])))
+	}
+	return out
+}
+
+// WriteFigure renders a figure's series as labelled columns of
+// (seconds, watts) pairs — the gnuplot-style data behind Figures 2–7 —
+// down-sampled to at most maxRows rows per series.
+func WriteFigure(w io.Writer, fig *experiments.Figure, maxRows int) error {
+	if maxRows <= 0 {
+		maxRows = 40
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	for _, p := range fig.Panels {
+		if _, err := fmt.Fprintf(w, "\n# panel: %s\n", p.Name); err != nil {
+			return err
+		}
+		for _, s := range p.Series {
+			if _, err := fmt.Fprintf(w, "## series %q (%d samples; ms=%.1fs ts=%.1fs te=%.1fs me=%.1fs)\n",
+				s.Label, s.Trace.Len(),
+				s.Bounds.MS.Seconds(), s.Bounds.TS.Seconds(), s.Bounds.TE.Seconds(), s.Bounds.ME.Seconds()); err != nil {
+				return err
+			}
+			stride := 1
+			if s.Trace.Len() > maxRows {
+				stride = s.Trace.Len() / maxRows
+			}
+			for i := 0; i < s.Trace.Len(); i += stride {
+				smp := s.Trace.Samples[i]
+				if _, err := fmt.Fprintf(w, "%8.1f %8.1f\n", smp.At.Seconds(), float64(smp.Power)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PhaseSummary renders the per-phase energy of a run pair of traces — the
+// textual counterpart of Figure 2's annotations.
+func PhaseSummary(w io.Writer, label string, src, dst trace.PhaseEnergy) error {
+	t := &Table{
+		Title:   fmt.Sprintf("Per-phase migration energy: %s", label),
+		Headers: []string{"Host", "Initiation [kJ]", "Transfer [kJ]", "Activation [kJ]", "Total [kJ]"},
+	}
+	t.AddRow("Source", f(src.Initiation.KiloJoules()), f(src.Transfer.KiloJoules()),
+		f(src.Activation.KiloJoules()), f(src.Total().KiloJoules()))
+	t.AddRow("Target", f(dst.Initiation.KiloJoules()), f(dst.Transfer.KiloJoules()),
+		f(dst.Activation.KiloJoules()), f(dst.Total().KiloJoules()))
+	return t.Write(w)
+}

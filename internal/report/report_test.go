@@ -1,0 +1,211 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/migration"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestTableWrite(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"A", "LongHeader"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("yyyy", "2")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "A", "LongHeader", "yyyy", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the second column starts at the same offset in each row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	h := strings.Index(lines[1], "LongHeader")
+	r1 := strings.Index(lines[3], "1")
+	if h != r1 {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", h, r1, out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.52e-7: "1.52e-07",
+		2.4:     "2.4",
+		708.3:   "708.3",
+	}
+	for in, want := range cases {
+		if got := f(in); got != want {
+			t.Errorf("f(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if pct(0.118) != "11.8%" {
+		t.Errorf("pct = %q", pct(0.118))
+	}
+}
+
+func TestCoeffTableBothKinds(t *testing.T) {
+	mk := func(kind migration.Kind, id string) *experiments.CoeffTable {
+		return &experiments.CoeffTable{
+			ID: id, Kind: kind,
+			Rows: []experiments.CoeffRow{{
+				Host:       "Source",
+				Initiation: core.PhaseCoeffs{Alpha: 1.71, Beta: 1.41, C: 708.3},
+				Transfer:   core.PhaseCoeffs{Alpha: 2.4, Beta: 1.52e-7, Gamma: 1.41, Delta: 0.4, C: 421.74},
+				Activation: core.PhaseCoeffs{Alpha: 2.37, C: 662.5},
+			}},
+		}
+	}
+	live := CoeffTable(mk(migration.Live, "Table IV"))
+	if len(live.Headers) != 12 {
+		t.Errorf("live table has %d columns, want 12 (with γ and δ)", len(live.Headers))
+	}
+	nonlive := CoeffTable(mk(migration.NonLive, "Table III"))
+	if len(nonlive.Headers) != 10 {
+		t.Errorf("non-live table has %d columns, want 10", len(nonlive.Headers))
+	}
+	var buf bytes.Buffer
+	if err := live.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "708.3") {
+		t.Error("coefficient missing from render")
+	}
+}
+
+func TestNRMSETableRender(t *testing.T) {
+	tbl := NRMSETable(&experiments.NRMSETable{
+		ID: "Table V",
+		Cells: []experiments.NRMSECell{
+			{Pair: "m01-m02", Kind: migration.NonLive, Role: core.Source, NRMSE: 0.118},
+		},
+	})
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "11.8%") {
+		t.Errorf("NRMSE not rendered as percent:\n%s", buf.String())
+	}
+}
+
+func TestBaselineTableBetaColumn(t *testing.T) {
+	tbl := BaselineTable([]experiments.BaselineCoeffRow{
+		{Model: "HUANG", Host: "Source", Alpha: 2.27, C: 671.92},
+		{Model: "STRUNK", Host: "Source", Alpha: 3.35, Beta: -3.47, C: 201.1},
+	})
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-") {
+		t.Error("HUANG must show '-' for its unused β")
+	}
+	if !strings.Contains(out, "-3.47") {
+		t.Error("STRUNK β missing")
+	}
+}
+
+func TestComparisonTableUnits(t *testing.T) {
+	rows := []experiments.ComparisonRow{{
+		Model: "WAVM3", Host: "Source",
+		NonLive: stats.ErrorReport{MAE: 1800, RMSE: 2558, NRMSE: 0.118},
+		Live:    stats.ErrorReport{MAE: 6300, RMSE: 8432, NRMSE: 0.118},
+	}}
+	tbl := ComparisonTable(rows)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// MAE/RMSE render in kJ.
+	if !strings.Contains(out, "1.8") || !strings.Contains(out, "2.558") {
+		t.Errorf("kJ conversion missing:\n%s", out)
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	tr := &trace.PowerTrace{Host: "m01"}
+	for i := 0; i < 100; i++ {
+		_ = tr.Append(time.Duration(i)*500*time.Millisecond, units.Watts(500+float64(i)))
+	}
+	fig := &experiments.Figure{
+		ID: "Fig. X", Title: "test",
+		Panels: []experiments.Panel{{
+			Name: "panel-a",
+			Series: []experiments.Series{{
+				Label: "0 VM", Trace: tr,
+				Bounds: trace.Boundaries{MS: time.Second, TS: 2 * time.Second, TE: 3 * time.Second, ME: 4 * time.Second},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, fig, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. X", "panel-a", `series "0 VM"`, "ms=1.0s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	// Down-sampling honoured: at most ~11 data rows for maxRows=10.
+	dataRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, " ") && strings.Contains(line, ".") {
+			dataRows++
+		}
+	}
+	if dataRows > 12 {
+		t.Errorf("%d data rows, want ≤ 12 after down-sampling", dataRows)
+	}
+}
+
+func TestPhaseSummary(t *testing.T) {
+	var buf bytes.Buffer
+	src := trace.PhaseEnergy{Initiation: 3000, Transfer: 18000, Activation: 3000}
+	dst := trace.PhaseEnergy{Initiation: 2000, Transfer: 15000, Activation: 4000}
+	if err := PhaseSummary(&buf, "live 0 VM", src, dst); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "24") { // total source kJ
+		t.Errorf("totals missing:\n%s", out)
+	}
+	if !strings.Contains(out, "live 0 VM") {
+		t.Error("label missing")
+	}
+}
+
+func TestCrossValTable(t *testing.T) {
+	cv := &core.CVResult{
+		Kind:  migration.Live,
+		Folds: 4,
+		PerRole: map[core.Role][]float64{
+			core.Source: {0.010, 0.012, 0.015, 0.011},
+			core.Target: {0.005, 0.006, 0.007, 0.006},
+		},
+	}
+	tbl := CrossValTable(cv)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 folds", "Source", "Target", "1.2%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cross-val table missing %q:\n%s", want, out)
+		}
+	}
+}

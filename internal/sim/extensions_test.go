@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/migration"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestNetIntensiveWorkloadNegligibleImpact verifies the observation that
+// scoped the paper ("our experiments showed negligible energy impacts
+// caused by network-intensive workloads during migration"): migrating a
+// guest running a network-heavy service costs about the same as migrating
+// one with the same CPU footprint and no network activity.
+func TestNetIntensiveWorkloadNegligibleImpact(t *testing.T) {
+	net := Scenario{
+		Name:             "net-intensive",
+		Kind:             migration.Live,
+		MigratingType:    vm.TypeMigratingMem,
+		MigratingProfile: workload.NetIntensiveProfile(),
+		Seed:             31,
+	}
+	// A reference profile with identical CPU demand and dirtying but no
+	// network component (the simulator carries guest network load only
+	// through its CPU and memory shadows, matching the paper's finding).
+	ref := net
+	ref.Name = "reference"
+	ref.MigratingProfile = workload.Profile{
+		Name:                "reference",
+		CPUPerVCPU:          workload.NetIntensiveProfile().CPUPerVCPU,
+		DirtyPagesPerSecond: workload.NetIntensiveProfile().DirtyPagesPerSecond,
+		WorkingSet:          workload.NetIntensiveProfile().WorkingSet,
+	}
+	rn, err := Run(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, er := float64(rn.SourceEnergy.Total()), float64(rr.SourceEnergy.Total())
+	if rel := math.Abs(en-er) / er; rel > 0.05 {
+		t.Errorf("net-intensive migration energy differs by %.1f%%, want < 5%%", rel*100)
+	}
+}
+
+func TestRunPostCopyScenario(t *testing.T) {
+	pc := Scenario{
+		Name:             "postcopy",
+		Kind:             migration.PostCopy,
+		MigratingType:    vm.TypeMigratingMem,
+		MigratingProfile: workload.PagedirtierProfile(0.95),
+		Seed:             32,
+	}
+	r, err := Run(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bounds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One image, tiny downtime — even at 95% dirty ratio.
+	img := vmImageBytes(t)
+	if r.BytesSent != img {
+		t.Errorf("post-copy sent %v, want %v", r.BytesSent, img)
+	}
+	if r.Downtime > time.Second {
+		t.Errorf("post-copy downtime = %v, want sub-second", r.Downtime)
+	}
+	// Compare with pre-copy on the same workload: pre-copy must cost more
+	// source energy at this dirty ratio (it retransmits for minutes).
+	live := pc
+	live.Kind = migration.Live
+	rl, err := Run(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.SourceEnergy.Total() <= r.SourceEnergy.Total() {
+		t.Errorf("pre-copy source energy %v should exceed post-copy %v at 95%% DR",
+			rl.SourceEnergy.Total(), r.SourceEnergy.Total())
+	}
+}
+
+func vmImageBytes(t *testing.T) units.Bytes {
+	t.Helper()
+	typ, err := vm.Lookup(vm.TypeMigratingMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units.PagesOf(typ.RAM).Bytes()
+}
+
+// TestMultiplexedSourcePowerStaysFlat reproduces the observation of
+// Figure 3a: with eight 4-vCPU load VMs the source CPU is oversubscribed,
+// so suspending the migrating VM at non-live initiation does not drop the
+// host's power — the freed threads are immediately reabsorbed by the load
+// VMs and "the power consumption trend follows a constant function".
+func TestMultiplexedSourcePowerStaysFlat(t *testing.T) {
+	flat, err := Run(cpuScenario(migration.NonLive, 8, 0, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := flat.Source.Slice(0, flat.Bounds.MS-time.Nanosecond).MeanPower()
+	during := flat.Source.Slice(flat.Bounds.MS, flat.Bounds.TS).MeanPower()
+	relDrop := (float64(before) - float64(during)) / float64(before)
+	if relDrop > 0.03 {
+		t.Errorf("multiplexed source dropped %.1f%% at initiation, want ≈0 (flat trend)", relDrop*100)
+	}
+	// Contrast: without multiplexing the same suspension produces a clear
+	// drop (tested in TestRunNonLiveSourceDropsAtInitiation).
+	unloaded, err := Run(cpuScenario(migration.NonLive, 0, 0, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := unloaded.Source.Slice(0, unloaded.Bounds.MS-time.Nanosecond).MeanPower()
+	ud := unloaded.Source.Slice(unloaded.Bounds.MS, unloaded.Bounds.TS).MeanPower()
+	unloadedDrop := (float64(ub) - float64(ud)) / float64(ub)
+	if unloadedDrop <= relDrop {
+		t.Errorf("unloaded drop %.1f%% must exceed multiplexed drop %.1f%%",
+			unloadedDrop*100, relDrop*100)
+	}
+}
+
+// TestReducedBandwidthUnderSaturation reproduces the mechanism behind the
+// paper's CPULOAD conclusions: at full source CPU load the recorded
+// transfer bandwidth is measurably below the unloaded bandwidth.
+func TestReducedBandwidthUnderSaturation(t *testing.T) {
+	idle, err := Run(cpuScenario(migration.NonLive, 0, 0, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Run(cpuScenario(migration.NonLive, 8, 0, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgBW := func(r *RunResult) float64 {
+		var sum float64
+		var n int
+		for _, fs := range r.SourceFeatures.Samples {
+			if fs.At >= r.Bounds.TS && fs.At < r.Bounds.TE && fs.Bandwidth > 0 {
+				sum += float64(fs.Bandwidth)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no transfer bandwidth recorded")
+		}
+		return sum / float64(n)
+	}
+	bi, bl := avgBW(idle), avgBW(loaded)
+	if bl >= bi {
+		t.Errorf("saturated-source bandwidth %.0f must be below idle %.0f", bl, bi)
+	}
+}
+
+// TestHotColdDirtierEasesLiveMigration verifies the extension family's
+// premise: at the same write rate, a skewed (hot/cold) working set re-sends
+// far less data than the uniform pagedirtier because most writes land on
+// already-dirty pages within a round.
+func TestHotColdDirtierEasesLiveMigration(t *testing.T) {
+	uniform := Scenario{
+		Name:             "uniform",
+		Kind:             migration.Live,
+		MigratingType:    vm.TypeMigratingMem,
+		MigratingProfile: workload.PagedirtierProfile(0.75),
+		Seed:             61,
+	}
+	skewed := uniform
+	skewed.Name = "hotcold"
+	skewed.MigratingProfile = workload.HotColdMemProfile(0.75)
+
+	ru, err := Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.BytesSent >= ru.BytesSent {
+		t.Errorf("hot/cold sent %v, uniform sent %v — skew must reduce retransmission",
+			rs.BytesSent, ru.BytesSent)
+	}
+	if rs.SourceEnergy.Total() >= ru.SourceEnergy.Total() {
+		t.Errorf("hot/cold source energy %v should undercut uniform %v",
+			rs.SourceEnergy.Total(), ru.SourceEnergy.Total())
+	}
+}

@@ -1,0 +1,322 @@
+// Package sim is the discrete-time simulation kernel that plays the role
+// of the paper's physical testbed campaign. One Run wires two Xen hosts, a
+// migrating guest, optional co-located load VMs, the network link and two
+// power meters together, advances everything on a fixed 100 ms step, and
+// returns what the paper's instruments returned: a 2 Hz power trace per
+// host, an aligned dstat-style feature trace, the phase boundaries of the
+// migration and the per-phase energies.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/meter"
+	"repro/internal/migration"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+	"repro/internal/xen"
+)
+
+// Step is the simulation time step. It divides the meter period evenly so
+// samples land exactly on the 2 Hz grid.
+const Step = 100 * time.Millisecond
+
+// Scenario describes one experimental point: which machine pair, migration
+// type, migrating workload, and how much CPU load runs beside it.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Pair selects the machine pair (hw.PairM or hw.PairO).
+	Pair string
+	// Kind is the migration mechanism.
+	Kind migration.Kind
+	// MigratingType is the instance type of the VM being migrated
+	// (vm.TypeMigratingCPU or vm.TypeMigratingMem).
+	MigratingType string
+	// MigratingProfile is the workload inside the migrating VM.
+	MigratingProfile workload.Profile
+	// SourceLoadVMs and TargetLoadVMs are the co-located load-cpu VM
+	// counts (the paper's 0,1,3,5,7,8 staircase).
+	SourceLoadVMs, TargetLoadVMs int
+	// LoadProfile is the workload of the load VMs (matrixmult by default).
+	LoadProfile workload.Profile
+	// PreMigration is the normal-execution span before ms.
+	PreMigration time.Duration
+	// PostMigration is the observed tail after me.
+	PostMigration time.Duration
+	// Migration overrides engine timing/termination defaults when non-zero.
+	Migration migration.Config
+	// Seed pins all stochastic behaviour of the run.
+	Seed int64
+}
+
+// withDefaults fills unset scenario fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Pair == "" {
+		s.Pair = hw.PairM
+	}
+	if s.MigratingType == "" {
+		s.MigratingType = vm.TypeMigratingCPU
+	}
+	if s.MigratingProfile.Name == "" {
+		s.MigratingProfile = workload.MatrixMultProfile()
+	}
+	if s.LoadProfile.Name == "" {
+		s.LoadProfile = workload.MatrixMultProfile()
+	}
+	if s.PreMigration <= 0 {
+		s.PreMigration = 12 * time.Second
+	}
+	if s.PostMigration <= 0 {
+		s.PostMigration = 10 * time.Second
+	}
+	s.Migration.Kind = s.Kind
+	return s
+}
+
+// Validate rejects impossible scenarios.
+func (s Scenario) Validate() error {
+	if s.SourceLoadVMs < 0 || s.TargetLoadVMs < 0 {
+		return fmt.Errorf("sim: negative load VM count")
+	}
+	if _, err := vm.Lookup(s.withDefaults().MigratingType); err != nil {
+		return err
+	}
+	if err := s.withDefaults().MigratingProfile.Validate(); err != nil {
+		return err
+	}
+	if err := s.withDefaults().LoadProfile.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunResult is everything one testbed run yields.
+type RunResult struct {
+	Scenario Scenario
+	// Source and Target are the 2 Hz power traces of the two hosts.
+	Source, Target *trace.PowerTrace
+	// SourceFeatures and TargetFeatures are the aligned feature traces.
+	SourceFeatures, TargetFeatures *trace.FeatureTrace
+	// Bounds are the measured phase boundaries (ms, ts, te, me).
+	Bounds trace.Boundaries
+	// SourceEnergy and TargetEnergy are the per-phase energies (the
+	// paper's four metrics per host).
+	SourceEnergy, TargetEnergy trace.PhaseEnergy
+	// BytesSent is the state data moved.
+	BytesSent units.Bytes
+	// Rounds is the pre-copy round count (live only).
+	Rounds int
+	// Downtime is the guest suspension span.
+	Downtime time.Duration
+}
+
+// Run executes one scenario to completion.
+func Run(sc Scenario) (*RunResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	srcSpec, dstSpec, err := hw.Pair(sc.Pair)
+	if err != nil {
+		return nil, err
+	}
+	src, err := xen.NewHost(srcSpec)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := xen.NewHost(dstSpec)
+	if err != nil {
+		return nil, err
+	}
+	link, err := netsim.NewLink(srcSpec, dstSpec)
+	if err != nil {
+		return nil, err
+	}
+	srcTS, err := xen.NewToolstack("xl", src)
+	if err != nil {
+		return nil, err
+	}
+	dstTS, err := xen.NewToolstack("xl", dst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Populate the hosts: migrating guest on the source, load VMs on both.
+	guest, err := srcTS.Create(sc.MigratingType, sc.MigratingProfile, sc.Seed*31+1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sc.SourceLoadVMs; i++ {
+		if _, err := srcTS.Create(vm.TypeLoadCPU, sc.LoadProfile, sc.Seed*31+int64(i)+2); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < sc.TargetLoadVMs; i++ {
+		if _, err := dstTS.Create(vm.TypeLoadCPU, sc.LoadProfile, sc.Seed*31+int64(i)+100); err != nil {
+			return nil, err
+		}
+	}
+
+	engine, err := migration.New(sc.Migration, src, dst, guest.Name, link)
+	if err != nil {
+		return nil, err
+	}
+
+	srcMeter := meter.New(srcSpec.Name, sc.Seed*7+11)
+	dstMeter := meter.New(dstSpec.Name, sc.Seed*7+13)
+	srcFeat := &trace.FeatureTrace{Host: srcSpec.Name}
+	dstFeat := &trace.FeatureTrace{Host: dstSpec.Name}
+
+	res := &RunResult{
+		Scenario:       sc,
+		SourceFeatures: srcFeat, TargetFeatures: dstFeat,
+	}
+
+	now := time.Duration(0)
+	started := false
+	var endAt time.Duration // set when the migration finishes
+
+	// stepOnce advances the whole world by one Step.
+	stepOnce := func() error {
+		// 1. Schedule CPU on both hosts.
+		sa := src.Schedule()
+		da := dst.Schedule()
+
+		// 2. Advance the migration.
+		var rep migration.StepReport
+		if started && !engine.Done() {
+			rep, err = engine.Step(now, Step, sa.MigrationShare(), da.MigrationShare())
+			if err != nil {
+				return err
+			}
+		}
+
+		// 3. Advance guest memory behaviour (page dirtying).
+		srcEvents := src.Step(sa, Step.Seconds())
+		dstEvents := dst.Step(da, Step.Seconds())
+
+		// 4. Assemble component loads. State copying moves pages through
+		// both hosts' memory subsystems at the transfer rate.
+		copyPagesPerSec := 0.0
+		if rep.BytesMoved > 0 {
+			copyPagesPerSec = float64(rep.BytesMoved) / float64(units.PageSize) / Step.Seconds()
+		}
+		netFrac := link.LineFraction(rep.Bandwidth)
+		srcLoad := src.Load(sa, float64(srcEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
+		dstLoad := dst.Load(da, float64(dstEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
+
+		// 5. Meters sample the ground truth.
+		srcMeter.Observe(now, srcSpec.TruePower(srcLoad))
+		dstMeter.Observe(now, dstSpec.TruePower(dstLoad))
+
+		// 6. Feature traces record what dstat + the hypervisor would see,
+		// at the same instants the meters sample.
+		guestHost := src
+		guestAlloc := sa
+		if _, onDst := dst.Guest(guest.Name); onDst {
+			guestHost = dst
+			guestAlloc = da
+		}
+		vmCPU := guestAlloc.Guests[guest.Name]
+		dr := guest.DirtyRatio()
+		fsrc := trace.FeatureSample{
+			At: now, HostCPU: sa.HostCPU(), Bandwidth: rep.Bandwidth,
+		}
+		fdst := trace.FeatureSample{
+			At: now, HostCPU: da.HostCPU(), Bandwidth: rep.Bandwidth,
+		}
+		if guestHost == src {
+			fsrc.VMCPU = vmCPU
+			fsrc.DirtyRatio = dr
+		} else {
+			fdst.VMCPU = vmCPU
+			fdst.DirtyRatio = dr
+		}
+		if err := srcFeat.Append(fsrc); err != nil {
+			return err
+		}
+		return dstFeat.Append(fdst)
+	}
+
+	// Phase A: normal execution until the consolidation manager fires.
+	for now < sc.PreMigration {
+		if err := stepOnce(); err != nil {
+			return nil, err
+		}
+		now += Step
+	}
+	if err := engine.Start(now); err != nil {
+		return nil, err
+	}
+	started = true
+
+	// Phase B: the migration itself.
+	const hardCap = 2 * time.Hour
+	for !engine.Done() {
+		if err := stepOnce(); err != nil {
+			return nil, err
+		}
+		now += Step
+		if now > hardCap {
+			return nil, errors.New("sim: migration exceeded the simulation cap")
+		}
+	}
+	endAt = now
+
+	// Phase C: post-migration tail.
+	for now < endAt+sc.PostMigration {
+		if err := stepOnce(); err != nil {
+			return nil, err
+		}
+		now += Step
+	}
+
+	res.Source = srcMeter.Trace()
+	res.Target = dstMeter.Trace()
+	res.Bounds = engine.Boundaries()
+	res.BytesSent = engine.BytesSent()
+	res.Rounds = engine.Rounds()
+	res.Downtime = engine.Downtime()
+	if res.SourceEnergy, err = trace.EnergyByPhase(res.Source, res.Bounds); err != nil {
+		return nil, err
+	}
+	if res.TargetEnergy, err = trace.EnergyByPhase(res.Target, res.Bounds); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunRepeated executes a scenario until the paper's variance-convergence
+// rule holds on the total source-side migration energy: at least minRuns
+// runs, and the variance change from adding the latest run below tol.
+// Each run gets a distinct derived seed.
+func RunRepeated(sc Scenario, minRuns int, tol float64) ([]*RunResult, error) {
+	if minRuns < 2 {
+		return nil, errors.New("sim: need at least two runs")
+	}
+	const maxRuns = 50
+	var out []*RunResult
+	var energies []float64
+	for i := 0; len(out) < maxRuns; i++ {
+		run := sc
+		run.Seed = sc.Seed + int64(i)*1009
+		r, err := Run(run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		energies = append(energies, float64(r.SourceEnergy.Total()))
+		if stats.VarianceConverged(energies, minRuns, tol) {
+			return out, nil
+		}
+	}
+	return out, nil
+}

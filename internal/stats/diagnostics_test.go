@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfectly correlated r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("anti-correlated r = %v, want -1", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	// Property: |r| ≤ 1 for any non-degenerate pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return true // degenerate draw, fine
+		}
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Error("length mismatch not reported")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must fail")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant series must fail")
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	rs := []float64{-1, 1, -2, 2, 0}
+	sum, err := Residuals(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean != 0 {
+		t.Errorf("mean = %v", sum.Mean)
+	}
+	if sum.MaxAbs != 2 {
+		t.Errorf("maxabs = %v", sum.MaxAbs)
+	}
+	if math.Abs(sum.Skew) > 1e-12 {
+		t.Errorf("symmetric residuals skew = %v, want 0", sum.Skew)
+	}
+	skewed := []float64{-0.1, -0.1, -0.1, -0.1, 10}
+	sum, err = Residuals(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skew <= 0 {
+		t.Errorf("right-skewed residuals reported skew %v", sum.Skew)
+	}
+	if _, err := Residuals([]float64{1}); err == nil {
+		t.Error("single residual must fail")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds, err := KFold(10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("%d folds, want 3", len(folds))
+	}
+	seen := map[int]int{}
+	for _, fold := range folds {
+		for _, i := range fold {
+			seen[i]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("%d distinct indices, want 10", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d appears %d times", i, c)
+		}
+	}
+	// Balanced: sizes 4,3,3 in some order.
+	sizes := []int{len(folds[0]), len(folds[1]), len(folds[2])}
+	total := sizes[0] + sizes[1] + sizes[2]
+	if total != 10 {
+		t.Errorf("fold sizes %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("unbalanced folds %v", sizes)
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := KFold(5, 1, 1); err == nil {
+		t.Error("k=1 must fail")
+	}
+	if _, err := KFold(2, 3, 1); err == nil {
+		t.Error("more folds than items must fail")
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a, _ := KFold(20, 4, 7)
+	b, _ := KFold(20, 4, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("non-deterministic folds")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("non-deterministic folds")
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleOLS() {
+	// Fit P = α·cpu + C from four observations.
+	x, _ := stats.MatrixFromRows([][]float64{
+		{1, 0}, {1, 8}, {1, 16}, {1, 32},
+	})
+	y := []float64{440, 551, 662, 884}
+	fit, _ := stats.OLS(x, y)
+	fmt.Printf("C=%.1f alpha=%.2f\n", fit.Coeffs[0], fit.Coeffs[1])
+	// Output: C=440.0 alpha=13.88
+}
+
+func ExampleNRMSE() {
+	predicted := []float64{25_000, 40_000, 50_000}
+	actual := []float64{25_800, 39_900, 50_400}
+	n, _ := stats.NRMSE(predicted, actual)
+	fmt.Printf("%.1f%%\n", n*100)
+	// Output: 2.1%
+}
+
+func ExampleVarianceConverged() {
+	// Nine stable runs, then a tenth consistent with them: adding it
+	// barely moves the sample variance.
+	runs := []float64{25_800, 25_900, 25_750, 25_820, 25_810,
+		25_790, 25_830, 25_780, 25_840, 25_760}
+	fmt.Println(stats.VarianceConverged(runs, 10, 0.10))
+	// Output: true
+}

@@ -1,0 +1,153 @@
+// Package stats implements the numerical estimation tools the paper's
+// evaluation relies on and which have no Go standard-library equivalent:
+// dense linear algebra (Householder QR), ordinary least squares, damped
+// Gauss-Newton non-linear least squares, the error metrics used in
+// Tables V and VII (MAE, RMSE, NRMSE), and the variance-convergence rule
+// that decides how many experimental runs are enough.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("stats: invalid matrix dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must all have the
+// same length.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("stats: no rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("stats: index (%d,%d) out of bounds for %d×%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec returns m · x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("stats: MulVec dimension mismatch: %d×%d matrix, vector length %d", m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Mul returns m · b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("stats: Mul dimension mismatch: %d×%d by %d×%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*b.cols : (i+1)*b.cols]
+			for j, v := range brow {
+				orow[j] += a * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// vector helpers shared across the package
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }

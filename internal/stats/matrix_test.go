@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %d×%d, want 2×3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Errorf("Row(1) = %v, want [0 0 7]", row)
+	}
+	// Row returns a copy.
+	row[0] = 99
+	if m.At(1, 0) != 0 {
+		t.Error("Row must return a copy, mutation leaked into the matrix")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestMatrixOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-bounds access")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got, err := m.MulVec([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("(AB)[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 1)); err == nil {
+		t.Error("inner-dimension mismatch should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose dims = %d×%d, want 3×2", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Errorf("Aᵀ[%d][%d] mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tt := m.Transpose().Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	// Property: for random full-rank A, ‖A − Q·R‖_F is tiny and QᵀQ = I.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(8)
+		n := 1 + rng.Intn(m)
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		qr, err := DecomposeQR(a)
+		if err != nil {
+			return false
+		}
+		q := qr.Q()
+		r := qr.R()
+		prod, err := q.Mul(r)
+		if err != nil {
+			return false
+		}
+		diff := 0.0
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				d := prod.At(i, j) - a.At(i, j)
+				diff += d * d
+			}
+		}
+		if math.Sqrt(diff) > 1e-9*(1+a.FrobeniusNorm()) {
+			return false
+		}
+		// Orthonormality of the thin Q.
+		qtq, err := q.Transpose().Mul(q)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(qtq.At(i, j), want, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// 2x + 3y = 8, 4x + y = 6, overdetermined with a consistent third row.
+	a, _ := MatrixFromRows([][]float64{{2, 3}, {4, 1}, {6, 4}})
+	b := []float64{8, 6, 14}
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := qr.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Errorf("solution = %v, want [1 2]", x)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Second column is 2× the first.
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve([]float64{1, 2, 3}); err != ErrRankDeficient {
+		t.Errorf("Solve on rank-deficient matrix = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestQRWideMatrixRejected(t *testing.T) {
+	if _, err := DecomposeQR(NewMatrix(2, 3)); err == nil {
+		t.Error("QR of a wide matrix should be rejected")
+	}
+}
+
+func TestQRZeroColumn(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{0, 1}, {0, 2}, {0, 3}})
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve([]float64{1, 2, 3}); err != ErrRankDeficient {
+		t.Errorf("zero column should be rank deficient, got %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSRecoversKnownCoefficients(t *testing.T) {
+	// Property: with a noiseless linear target, OLS recovers the exact
+	// coefficients (up to float tolerance) for any well-conditioned design.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		beta := []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 5, rng.NormFloat64() * 2}
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range rows {
+			rows[i] = []float64{1, rng.Float64() * 100, rng.Float64() * 10}
+			y[i] = beta[0]*rows[i][0] + beta[1]*rows[i][1] + beta[2]*rows[i][2]
+		}
+		x, err := MatrixFromRows(rows)
+		if err != nil {
+			return false
+		}
+		fit, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		for j := range beta {
+			if !almostEq(fit.Coeffs[j], beta[j], 1e-6*(1+math.Abs(beta[j]))) {
+				return false
+			}
+		}
+		return fit.R2 > 0.999999 || fit.RSS < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		cpu := rng.Float64() * 32
+		rows[i] = []float64{1, cpu}
+		y[i] = 400 + 9.5*cpu + rng.NormFloat64()*3
+	}
+	x, _ := MatrixFromRows(rows)
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Coeffs[0], 400, 1.0) {
+		t.Errorf("intercept = %v, want ≈400", fit.Coeffs[0])
+	}
+	if !almostEq(fit.Coeffs[1], 9.5, 0.1) {
+		t.Errorf("slope = %v, want ≈9.5", fit.Coeffs[1])
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	x, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := OLS(x, []float64{1}); err == nil {
+		t.Error("target length mismatch should fail")
+	}
+	narrow, _ := MatrixFromRows([][]float64{{1, 2, 3}})
+	if _, err := OLS(narrow, []float64{1}); err == nil {
+		t.Error("underdetermined system should fail")
+	}
+}
+
+func TestNonNegativeOLSClampsNegatives(t *testing.T) {
+	// Construct data where the unconstrained fit would give column 2 a
+	// negative weight: y depends only on column 1, and column 2 is noisy
+	// anti-correlated with the residual target.
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		rows[i] = []float64{1, a, b}
+		y[i] = 100 + 2*a - 0.5*b + rng.NormFloat64()*0.01
+	}
+	x, _ := MatrixFromRows(rows)
+	fit, err := NonNegativeOLS(x, y, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Coeffs[2] != 0 {
+		t.Errorf("constrained coefficient = %v, want exactly 0", fit.Coeffs[2])
+	}
+	if !almostEq(fit.Coeffs[1], 2, 0.2) {
+		t.Errorf("free coefficient = %v, want ≈2", fit.Coeffs[1])
+	}
+}
+
+func TestNonNegativeOLSFeasibleUnchanged(t *testing.T) {
+	// When the unconstrained solution is already non-negative it must match
+	// plain OLS.
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a := rng.Float64() * 10
+		rows[i] = []float64{1, a}
+		y[i] = 5 + 3*a
+	}
+	x, _ := MatrixFromRows(rows)
+	plain, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := NonNegativeOLS(x, y, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain.Coeffs {
+		if !almostEq(plain.Coeffs[j], constrained.Coeffs[j], 1e-9) {
+			t.Errorf("coefficient %d: constrained %v != plain %v", j, constrained.Coeffs[j], plain.Coeffs[j])
+		}
+	}
+}
+
+func TestNonNegativeOLSBadColumn(t *testing.T) {
+	x, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 7}})
+	if _, err := NonNegativeOLS(x, []float64{1, 2, 3}, []int{5}); err == nil {
+		t.Error("out-of-range constrained column should fail")
+	}
+}
+
+func TestDesignMatrix(t *testing.T) {
+	m, err := DesignMatrix([][]float64{{2, 3}, {4, 5}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cols() != 3 || m.At(0, 0) != 1 || m.At(1, 0) != 1 {
+		t.Error("intercept column missing or wrong")
+	}
+	if m.At(0, 1) != 2 || m.At(1, 2) != 5 {
+		t.Error("feature values misplaced")
+	}
+	m2, err := DesignMatrix([][]float64{{2, 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cols() != 2 {
+		t.Error("no-intercept design has wrong width")
+	}
+	if _, err := DesignMatrix(nil, true); err == nil {
+		t.Error("empty features should fail")
+	}
+	if _, err := DesignMatrix([][]float64{{1}, {1, 2}}, true); err == nil {
+		t.Error("ragged features should fail")
+	}
+}
+
+func TestNLLSLinearMatchesOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	xs := make([]float64, n)
+	y := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 50
+		y[i] = 700 + 2.4*xs[i] + rng.NormFloat64()
+	}
+	model := func(p []float64, i int) float64 { return p[0] + p[1]*xs[i] }
+	res, err := NLLS(model, y, []float64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Params[0], 700, 2) || !almostEq(res.Params[1], 2.4, 0.1) {
+		t.Errorf("NLLS params = %v, want ≈[700 2.4]", res.Params)
+	}
+}
+
+func TestNLLSNonlinearExponent(t *testing.T) {
+	// y = a · x^k, the shape of the ground-truth CPU power curve.
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	xs := make([]float64, n)
+	y := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.05 + rng.Float64()
+		y[i] = 12.5 * math.Pow(xs[i], 1.12)
+	}
+	model := func(p []float64, i int) float64 { return p[0] * math.Pow(xs[i], p[1]) }
+	res, err := NLLS(model, y, []float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Params[0], 12.5, 0.05) || !almostEq(res.Params[1], 1.12, 0.01) {
+		t.Errorf("NLLS params = %v, want ≈[12.5 1.12]", res.Params)
+	}
+}
+
+func TestNLLSValidation(t *testing.T) {
+	model := func(p []float64, i int) float64 { return p[0] }
+	if _, err := NLLS(model, nil, []float64{1}, nil); err == nil {
+		t.Error("no observations should fail")
+	}
+	if _, err := NLLS(model, []float64{1}, nil, nil); err == nil {
+		t.Error("no parameters should fail")
+	}
+}
+
+func TestNLLSAlreadyConverged(t *testing.T) {
+	// Starting at the exact optimum must terminate quickly and keep RSS ≈ 0.
+	xs := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	model := func(p []float64, i int) float64 { return p[0] * xs[i] }
+	res, err := NLLS(model, y, []float64{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RSS > 1e-18 {
+		t.Errorf("RSS = %v, want ≈0", res.RSS)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/units"
+)
+
+// WriteCSV writes the trace as "seconds,watts" rows with a header, the
+// format the figure data files use (one file per load level, as in the
+// paper's gnuplot inputs).
+func (p *PowerTrace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "power_w"}); err != nil {
+		return err
+	}
+	for _, s := range p.Samples {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(float64(s.Power), 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader, host string) (*PowerTrace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	out := &PowerTrace{Host: host}
+	for i, rec := range recs {
+		if i == 0 && len(rec) >= 1 && rec[0] == "time_s" {
+			continue // header
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 2", i, len(rec))
+		}
+		secs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d time: %w", i, err)
+		}
+		w, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d power: %w", i, err)
+		}
+		at := time.Duration(secs * float64(time.Second))
+		if err := out.Append(at, units.Watts(w)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

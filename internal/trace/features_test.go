@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestFeatureTraceAppendAndAt(t *testing.T) {
+	ft := &FeatureTrace{Host: "m01"}
+	for i := 0; i < 5; i++ {
+		err := ft.Append(FeatureSample{
+			At:      time.Duration(i) * time.Second,
+			HostCPU: units.Utilisation(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ft.Append(FeatureSample{At: time.Second}); err == nil {
+		t.Error("out-of-order feature append must fail")
+	}
+	// Nearest-sample lookup.
+	cases := []struct {
+		at   time.Duration
+		want units.Utilisation
+	}{
+		{-time.Second, 0},
+		{400 * time.Millisecond, 0},
+		{600 * time.Millisecond, 1},
+		{2 * time.Second, 2},
+		{10 * time.Second, 4},
+	}
+	for _, tc := range cases {
+		got, err := ft.At(tc.at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.HostCPU != tc.want {
+			t.Errorf("At(%v).HostCPU = %v, want %v", tc.at, got.HostCPU, tc.want)
+		}
+	}
+	empty := &FeatureTrace{}
+	if _, err := empty.At(0); err == nil {
+		t.Error("At on empty feature trace must fail")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	pt := &PowerTrace{Host: "m01"}
+	ft := &FeatureTrace{Host: "m01"}
+	for i := 0; i <= 60; i++ {
+		at := time.Duration(i) * time.Second
+		_ = pt.Append(at, units.Watts(500+i))
+		_ = ft.Append(FeatureSample{At: at, HostCPU: units.Utilisation(i), DirtyRatio: 0.5})
+	}
+	b := Boundaries{MS: 10 * time.Second, TS: 15 * time.Second, TE: 45 * time.Second, ME: 50 * time.Second}
+	obs, err := Align(pt, ft, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 10..49 s inclusive are inside the migration: 40 samples.
+	if len(obs) != 40 {
+		t.Fatalf("aligned %d observations, want 40", len(obs))
+	}
+	for _, o := range obs {
+		if o.Phase == PhaseNormal {
+			t.Fatalf("normal-phase observation leaked: %+v", o)
+		}
+		if o.DirtyRatio != 0.5 {
+			t.Fatalf("feature not joined: %+v", o)
+		}
+	}
+	byPhase := SplitByPhase(obs)
+	if len(byPhase[PhaseInitiation]) != 5 {
+		t.Errorf("initiation samples = %d, want 5", len(byPhase[PhaseInitiation]))
+	}
+	if len(byPhase[PhaseTransfer]) != 30 {
+		t.Errorf("transfer samples = %d, want 30", len(byPhase[PhaseTransfer]))
+	}
+	if len(byPhase[PhaseActivation]) != 5 {
+		t.Errorf("activation samples = %d, want 5", len(byPhase[PhaseActivation]))
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	pt := mkTrace(t, 1, 2, 3)
+	ft := &FeatureTrace{}
+	_ = ft.Append(FeatureSample{At: 0})
+	if _, err := Align(pt, ft, Boundaries{MS: 10, TS: 5}); err == nil {
+		t.Error("bad boundaries must fail")
+	}
+	if _, err := Align(&PowerTrace{}, ft, validB()); err == nil {
+		t.Error("empty power trace must fail")
+	}
+	if _, err := Align(pt, &FeatureTrace{}, validB()); err == nil {
+		t.Error("empty feature trace must fail")
+	}
+	// No power samples inside the window.
+	far := Boundaries{MS: time.Hour, TS: time.Hour + time.Second, TE: time.Hour + 2*time.Second, ME: time.Hour + 3*time.Second}
+	if _, err := Align(pt, ft, far); err == nil {
+		t.Error("window beyond trace must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mkTrace(t, 400.25, 512.5, 630.75)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s,power_w\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	back, err := ReadCSV(strings.NewReader(out), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round-trip len = %d, want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Samples {
+		if back.Samples[i].At != tr.Samples[i].At {
+			t.Errorf("sample %d time %v != %v", i, back.Samples[i].At, tr.Samples[i].At)
+		}
+		if back.Samples[i].Power != tr.Samples[i].Power {
+			t.Errorf("sample %d power %v != %v", i, back.Samples[i].Power, tr.Samples[i].Power)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time_s,power_w\nnot_a_number,5\n",
+		"time_s,power_w\n1.0,not_a_number\n",
+		"time_s,power_w\n2.0,5\n1.0,5\n", // out of order
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "x"); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}

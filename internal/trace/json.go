@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/units"
+)
+
+// jsonTrace is the wire form of a power trace: timestamps in seconds,
+// power in watts, both as plain numbers for toolchain friendliness.
+type jsonTrace struct {
+	Host    string      `json:"host"`
+	TimeS   []float64   `json:"time_s"`
+	PowerW  []float64   `json:"power_w"`
+	Bounds  *jsonBounds `json:"phases,omitempty"`
+	Comment string      `json:"comment,omitempty"`
+}
+
+type jsonBounds struct {
+	MS float64 `json:"ms_s"`
+	TS float64 `json:"ts_s"`
+	TE float64 `json:"te_s"`
+	ME float64 `json:"me_s"`
+}
+
+// WriteJSON encodes the trace (and optional phase boundaries) as JSON.
+func (p *PowerTrace) WriteJSON(w io.Writer, bounds *Boundaries) error {
+	out := jsonTrace{Host: p.Host}
+	for _, s := range p.Samples {
+		out.TimeS = append(out.TimeS, s.At.Seconds())
+		out.PowerW = append(out.PowerW, float64(s.Power))
+	}
+	if bounds != nil {
+		if err := bounds.Validate(); err != nil {
+			return err
+		}
+		out.Bounds = &jsonBounds{
+			MS: bounds.MS.Seconds(), TS: bounds.TS.Seconds(),
+			TE: bounds.TE.Seconds(), ME: bounds.ME.Seconds(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a trace written by WriteJSON, returning the trace and
+// the phase boundaries when present.
+func ReadJSON(r io.Reader) (*PowerTrace, *Boundaries, error) {
+	var in jsonTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	if len(in.TimeS) != len(in.PowerW) {
+		return nil, nil, fmt.Errorf("trace: JSON has %d timestamps but %d powers", len(in.TimeS), len(in.PowerW))
+	}
+	tr := &PowerTrace{Host: in.Host}
+	for i := range in.TimeS {
+		at := time.Duration(in.TimeS[i] * float64(time.Second))
+		if err := tr.Append(at, units.Watts(in.PowerW[i])); err != nil {
+			return nil, nil, err
+		}
+	}
+	var b *Boundaries
+	if in.Bounds != nil {
+		b = &Boundaries{
+			MS: time.Duration(in.Bounds.MS * float64(time.Second)),
+			TS: time.Duration(in.Bounds.TS * float64(time.Second)),
+			TE: time.Duration(in.Bounds.TE * float64(time.Second)),
+			ME: time.Duration(in.Bounds.ME * float64(time.Second)),
+		}
+		if err := b.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tr, b, nil
+}
+
+// Smooth returns a centred moving-average copy of the trace with the given
+// window (an odd sample count; even values are rounded up). Used to tame
+// meter noise when plotting single runs.
+func (p *PowerTrace) Smooth(window int) *PowerTrace {
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := &PowerTrace{Host: p.Host}
+	n := len(p.Samples)
+	for i := 0; i < n; i++ {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += float64(p.Samples[j].Power)
+		}
+		out.Samples = append(out.Samples, Sample{
+			At:    p.Samples[i].At,
+			Power: units.Watts(sum / float64(hi-lo+1)),
+		})
+	}
+	return out
+}

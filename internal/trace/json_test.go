@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := mkTrace(t, 400, 500, 600)
+	b := validB()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, &b); err != nil {
+		t.Fatal(err)
+	}
+	back, bounds, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Host != tr.Host || back.Len() != tr.Len() {
+		t.Fatalf("round trip lost shape: %s/%d", back.Host, back.Len())
+	}
+	for i := range tr.Samples {
+		if back.Samples[i].Power != tr.Samples[i].Power {
+			t.Errorf("sample %d power %v != %v", i, back.Samples[i].Power, tr.Samples[i].Power)
+		}
+	}
+	if bounds == nil || bounds.TS != b.TS || bounds.ME != b.ME {
+		t.Errorf("bounds lost: %+v", bounds)
+	}
+}
+
+func TestJSONWithoutBounds(t *testing.T) {
+	tr := mkTrace(t, 400, 500)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "phases") {
+		t.Error("nil bounds should be omitted")
+	}
+	_, bounds, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds != nil {
+		t.Error("bounds materialised from nothing")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	tr := mkTrace(t, 1, 2)
+	bad := Boundaries{MS: 5, TS: 1}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, &bad); err == nil {
+		t.Error("invalid bounds must fail on write")
+	}
+	if _, _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON must fail")
+	}
+	if _, _, err := ReadJSON(strings.NewReader(`{"time_s":[1],"power_w":[1,2]}`)); err == nil {
+		t.Error("mismatched arrays must fail")
+	}
+	if _, _, err := ReadJSON(strings.NewReader(`{"time_s":[2,1],"power_w":[5,5]}`)); err == nil {
+		t.Error("out-of-order timestamps must fail")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	// Alternating 400/600: a window of 3 pulls interior points to ≈466/533,
+	// exactly (400+600+400)/3 and (600+400+600)/3.
+	tr := &PowerTrace{}
+	for i := 0; i < 6; i++ {
+		w := units.Watts(400)
+		if i%2 == 1 {
+			w = 600
+		}
+		_ = tr.Append(time.Duration(i)*time.Second, w)
+	}
+	sm := tr.Smooth(3)
+	if sm.Len() != tr.Len() {
+		t.Fatalf("smoothing changed length: %d", sm.Len())
+	}
+	// Sample 2 is a 400 flanked by two 600s: (600+400+600)/3.
+	if math.Abs(float64(sm.Samples[2].Power)-1600.0/3) > 1e-9 {
+		t.Errorf("interior smoothed = %v, want %v", sm.Samples[2].Power, 1600.0/3)
+	}
+	// Timestamps preserved.
+	for i := range tr.Samples {
+		if sm.Samples[i].At != tr.Samples[i].At {
+			t.Error("smoothing moved timestamps")
+		}
+	}
+	// Degenerate windows behave.
+	if tr.Smooth(0).Samples[1].Power != tr.Samples[1].Power {
+		t.Error("window 0 must be identity")
+	}
+	if tr.Smooth(2).Len() != tr.Len() {
+		t.Error("even window must round up, not break")
+	}
+}
+
+func TestSmoothConstantIsIdentity(t *testing.T) {
+	tr := mkTrace(t, 500, 500, 500, 500, 500)
+	sm := tr.Smooth(5)
+	for i := range sm.Samples {
+		if math.Abs(float64(sm.Samples[i].Power)-500) > 1e-9 {
+			t.Fatalf("constant trace changed at %d: %v", i, sm.Samples[i].Power)
+		}
+	}
+}

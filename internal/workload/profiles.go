@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// Profile is the simulation-facing description of a workload: how much CPU
+// it demands per vCPU and how it dirties memory. The real kernels above
+// validate the behaviour; the profiles drive the simulated sweeps.
+type Profile struct {
+	// Name identifies the workload (matrixmult, pagedirtier, idle).
+	Name string
+	// CPUPerVCPU is the demand per virtual CPU in [0,1]: matrixmult pins
+	// every vCPU at 1.0, pagedirtier keeps its single vCPU busy, idle is 0.
+	CPUPerVCPU units.Fraction
+	// DirtyPagesPerSecond is the page-write event rate of the workload at
+	// full CPU share.
+	DirtyPagesPerSecond float64
+	// WorkingSet is the fraction of VM memory the workload touches.
+	WorkingSet units.Fraction
+	// HotFrac and HotProb select the hot/cold dirtier instead of the
+	// uniform one when HotProb > 0: a HotFrac-sized hot set receives
+	// HotProb of the writes. Models skewed real-world working sets
+	// (databases, JVM heaps) — an extension beyond the paper's uniform
+	// pagedirtier.
+	HotFrac units.Fraction
+	HotProb float64
+}
+
+// Canonical profiles of the paper's benchmarks.
+
+// MatrixMultProfile is the CPU-intensive load: all vCPUs busy, negligible
+// page dirtying (the operand matrices fit in a fixed working set that is
+// written once).
+func MatrixMultProfile() Profile {
+	return Profile{
+		Name:                "matrixmult",
+		CPUPerVCPU:          1.0,
+		DirtyPagesPerSecond: 600, // code+stack+result pages churn slowly
+		WorkingSet:          0.05,
+	}
+}
+
+// PagedirtierProfile is the memory-intensive load, parameterised by the
+// target dirty ratio of the MEMLOAD experiments ("workloads using at least
+// 90% of the memory allocated" / "high memory dirty ratio"). The write
+// rate is chosen so the working set re-dirties within a few seconds,
+// faster than a gigabit link can drain a 4 GB image — the regime where
+// live migration struggles.
+func PagedirtierProfile(targetDirty units.Fraction) Profile {
+	ws := targetDirty.Clamp()
+	// pagedirtier touches its whole allocation continuously; the write
+	// rate scales with the working-set size so the time to re-dirty the
+	// set stays roughly constant across the 5%..95% sweep.
+	pages := float64(units.PagesOf(4*units.GiB)) * float64(ws)
+	rate := pages / 4.0 // re-dirty the working set every ~4 s
+	return Profile{
+		Name:                "pagedirtier",
+		CPUPerVCPU:          1.0,
+		DirtyPagesPerSecond: rate,
+		WorkingSet:          ws,
+	}
+}
+
+// IdleProfile is a guest doing nothing.
+func IdleProfile() Profile {
+	return Profile{Name: "idle"}
+}
+
+// NetIntensiveProfile models the paper's future-work workload family:
+// saturating network I/O with modest CPU and negligible dirtying. The
+// paper reports "negligible energy impacts caused by network-intensive
+// workloads during migration"; the extension experiments verify that our
+// substrate reproduces that.
+func NetIntensiveProfile() Profile {
+	return Profile{
+		Name:                "netintensive",
+		CPUPerVCPU:          0.25,
+		DirtyPagesPerSecond: 400,
+		WorkingSet:          0.02,
+	}
+}
+
+// Dirtier instantiates the memory behaviour of the profile with a seed.
+func (p Profile) Dirtier(seed int64) mem.Dirtier {
+	if p.DirtyPagesPerSecond <= 0 || p.WorkingSet <= 0 {
+		return mem.NoDirtier{}
+	}
+	if p.HotProb > 0 {
+		return mem.NewHotColdDirtier(p.DirtyPagesPerSecond, p.HotFrac, p.HotProb, seed)
+	}
+	return mem.NewUniformDirtier(p.DirtyPagesPerSecond, p.WorkingSet, seed)
+}
+
+// HotColdMemProfile is the skewed-memory extension workload: the same
+// write rate as PagedirtierProfile at the given target, but with 90%% of
+// writes concentrated on a hot tenth of the image. Pre-copy handles this
+// far better than a uniform dirtier of equal rate because re-writes mostly
+// hit already-dirty pages.
+func HotColdMemProfile(targetDirty units.Fraction) Profile {
+	p := PagedirtierProfile(targetDirty)
+	p.Name = "hotcold"
+	p.HotFrac = 0.1
+	p.HotProb = 0.9
+	return p
+}
+
+// Validate rejects unphysical profiles.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.CPUPerVCPU < 0 || p.CPUPerVCPU > 1 {
+		return fmt.Errorf("workload: %s CPU per vCPU %v outside [0,1]", p.Name, p.CPUPerVCPU)
+	}
+	if p.DirtyPagesPerSecond < 0 {
+		return fmt.Errorf("workload: %s negative dirty rate", p.Name)
+	}
+	if p.WorkingSet < 0 || p.WorkingSet > 1 {
+		return fmt.Errorf("workload: %s working set %v outside [0,1]", p.Name, p.WorkingSet)
+	}
+	if p.HotProb < 0 || p.HotProb > 1 {
+		return fmt.Errorf("workload: %s hot probability %v outside [0,1]", p.Name, p.HotProb)
+	}
+	if p.HotFrac < 0 || p.HotFrac > 1 {
+		return fmt.Errorf("workload: %s hot fraction %v outside [0,1]", p.Name, p.HotFrac)
+	}
+	return nil
+}
+
+// LoadLevels returns the paper's CPULOAD staircase: the number of load-cpu
+// VMs co-located on a host for each experiment step. Each load-cpu VM has
+// 4 vCPUs on a 32-thread machine, so the levels sweep host utilisation
+// 0% → 100% in 25%-ish increments, with the final 8-VM step demanding
+// 32+4 = 36 vCPUs when a migrating VM is present — the deliberate
+// multiplexing case ("VMs require more CPUs than the host can offer").
+func LoadLevels() []int { return []int{0, 1, 3, 5, 7, 8} }
+
+// DirtyLevels returns the MEMLOAD-VM dirty-ratio sweep of Figure 5.
+func DirtyLevels() []units.Fraction {
+	return []units.Fraction{0.05, 0.15, 0.35, 0.55, 0.75, 0.95}
+}

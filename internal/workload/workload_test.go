@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMatrixMultCorrectAcrossParallelism(t *testing.T) {
+	// Every worker count must produce the serial product.
+	ref, err := NewMatrixMult(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.SerialReference()
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 64, 100} {
+		m, err := NewMatrixMult(64, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		for i := range want {
+			if math.Abs(m.c[i]-want[i]) > 1e-9 {
+				t.Fatalf("workers=%d: element %d = %v, want %v", workers, i, m.c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatrixMultChecksumStable(t *testing.T) {
+	m, err := NewMatrixMult(48, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	first := m.Checksum()
+	m.Run() // rerun must not accumulate
+	if got := m.Checksum(); got != first {
+		t.Errorf("checksum drifted across runs: %v then %v", first, got)
+	}
+	if first == 0 {
+		t.Error("checksum should be non-trivial")
+	}
+}
+
+func TestMatrixMultValidation(t *testing.T) {
+	if _, err := NewMatrixMult(0, 1); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewMatrixMult(-4, 1); err == nil {
+		t.Error("negative n must fail")
+	}
+	if _, err := NewMatrixMult(4, -1); err == nil {
+		t.Error("negative workers must fail")
+	}
+	m, err := NewMatrixMult(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers() <= 0 {
+		t.Error("workers=0 must default to GOMAXPROCS")
+	}
+}
+
+func TestMatrixMultMeta(t *testing.T) {
+	m, _ := NewMatrixMult(10, 2)
+	if m.N() != 10 {
+		t.Errorf("N = %d", m.N())
+	}
+	if m.FlopCount() != 2000 {
+		t.Errorf("FlopCount = %d, want 2000", m.FlopCount())
+	}
+	if !strings.Contains(m.String(), "matrixmult") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestCanonicalProfiles(t *testing.T) {
+	for _, p := range []Profile{
+		MatrixMultProfile(),
+		PagedirtierProfile(0.95),
+		IdleProfile(),
+		NetIntensiveProfile(),
+	} {
+		if p.Name == "" {
+			t.Error("profile missing name")
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+	if MatrixMultProfile().CPUPerVCPU != 1 {
+		t.Error("matrixmult must pin vCPUs at 100%")
+	}
+	if IdleProfile().CPUPerVCPU != 0 {
+		t.Error("idle must demand nothing")
+	}
+}
+
+func TestPagedirtierScalesWithTarget(t *testing.T) {
+	lo := PagedirtierProfile(0.05)
+	hi := PagedirtierProfile(0.95)
+	if hi.DirtyPagesPerSecond <= lo.DirtyPagesPerSecond {
+		t.Errorf("95%% target rate %v must exceed 5%% rate %v",
+			hi.DirtyPagesPerSecond, lo.DirtyPagesPerSecond)
+	}
+	if hi.WorkingSet != 0.95 || lo.WorkingSet != 0.05 {
+		t.Errorf("working sets = %v, %v", hi.WorkingSet, lo.WorkingSet)
+	}
+	// Out-of-range targets clamp.
+	over := PagedirtierProfile(1.5)
+	if over.WorkingSet != 1 {
+		t.Errorf("working set = %v, want clamped to 1", over.WorkingSet)
+	}
+}
+
+func TestProfileDirtier(t *testing.T) {
+	if d := IdleProfile().Dirtier(1); d.Rate() != 0 {
+		t.Error("idle profile must yield a no-op dirtier")
+	}
+	d := PagedirtierProfile(0.95).Dirtier(1)
+	if d.Rate() <= 0 {
+		t.Error("pagedirtier must dirty pages")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", CPUPerVCPU: -0.1},
+		{Name: "x", CPUPerVCPU: 1.1},
+		{Name: "x", DirtyPagesPerSecond: -1},
+		{Name: "x", WorkingSet: 2},
+		{Name: "x", WorkingSet: -0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestLoadLevels(t *testing.T) {
+	got := LoadLevels()
+	want := []int{0, 1, 3, 5, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("LoadLevels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("LoadLevels[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// The last level must oversubscribe a 32-thread host once the 4-vCPU
+	// migrating VM is added: 8×4 + 4 = 36 > 32.
+	if got[len(got)-1]*4+4 <= 32 {
+		t.Error("final load level must force CPU multiplexing")
+	}
+}
+
+func TestDirtyLevels(t *testing.T) {
+	got := DirtyLevels()
+	want := []units.Fraction{0.05, 0.15, 0.35, 0.55, 0.75, 0.95}
+	if len(got) != len(want) {
+		t.Fatalf("DirtyLevels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("DirtyLevels[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkMatrixMultSerial(b *testing.B) {
+	m, _ := NewMatrixMult(128, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run()
+	}
+}
+
+func BenchmarkMatrixMultParallel(b *testing.B) {
+	m, _ := NewMatrixMult(128, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run()
+	}
+}
+
+func TestHotColdMemProfile(t *testing.T) {
+	p := HotColdMemProfile(0.75)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HotProb != 0.9 || p.HotFrac != 0.1 {
+		t.Errorf("skew parameters = %v/%v", p.HotFrac, p.HotProb)
+	}
+	// Same rate as the uniform profile at the same target.
+	if p.DirtyPagesPerSecond != PagedirtierProfile(0.75).DirtyPagesPerSecond {
+		t.Error("hot/cold must match pagedirtier's write rate")
+	}
+	// Dirtier dispatch: HotProb > 0 selects the skewed dirtier.
+	d := p.Dirtier(1)
+	if d.Rate() != p.DirtyPagesPerSecond {
+		t.Errorf("dirtier rate = %v", d.Rate())
+	}
+	bad := p
+	bad.HotProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range hot probability must fail")
+	}
+	bad = p
+	bad.HotFrac = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative hot fraction must fail")
+	}
+}

@@ -1,0 +1,229 @@
+// Package xen models the hypervisor side of the testbed: a host running
+// Xen 4.2.5 with a dom-0, a set of paravirtualised guests, and a
+// credit-scheduler-like CPU arbiter. It implements the paper's Eq. 2,
+//
+//	CPU(h,t) = CPUVMM(V(h,t)) + Σ_{v∈V(h,t)} CPU(v,t) + CPUmigr(h,t),
+//
+// including the saturation behaviour the paper leans on: once aggregate
+// demand exceeds the machine's thread count, allocations are scaled down
+// proportionally ("multiplexing") and total host CPU — hence power — goes
+// flat, while the migration helper's share shrinks and with it the
+// achievable transfer bandwidth.
+package xen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// Scheduler constants, calibrated against the testbed's dom-0 behaviour.
+const (
+	// Dom0BaseCPU is the steady CPU use of dom-0 (device backends, xenstore).
+	Dom0BaseCPU units.Utilisation = 0.25
+	// VMMPerVM is the arbitration overhead per active guest (event
+	// channels, grant tables, scheduling).
+	VMMPerVM units.Utilisation = 0.08
+	// MigrationCPUDemand is what the migration helper process (xc_save /
+	// xc_restore running in dom-0) asks for on an endpoint while a
+	// migration is in flight. When it receives less than this, the
+	// transfer slows proportionally.
+	MigrationCPUDemand units.Utilisation = 1.35
+)
+
+// Host is one physical machine under Xen.
+type Host struct {
+	Spec hw.MachineSpec
+
+	guests map[string]*vm.VM
+	// migActive marks an in-flight migration with this host as an endpoint.
+	migActive bool
+}
+
+// NewHost boots a hypervisor on the given machine.
+func NewHost(spec hw.MachineSpec) (*Host, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Host{Spec: spec, guests: make(map[string]*vm.VM)}, nil
+}
+
+// Attach places a guest on this host. It enforces the memory constraint:
+// the sum of guest allocations plus dom-0's reservation must fit in RAM.
+func (h *Host) Attach(v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("xen: nil VM")
+	}
+	if _, dup := h.guests[v.Name]; dup {
+		return fmt.Errorf("xen: %s already has a guest named %q", h.Spec.Name, v.Name)
+	}
+	dom0 := vm.Types()[vm.TypeDom0].RAM
+	used := dom0 + v.Type.RAM
+	for _, g := range h.guests {
+		used += g.Type.RAM
+	}
+	if used > h.Spec.RAM {
+		return fmt.Errorf("xen: attaching %q would need %v of %v RAM on %s", v.Name, used, h.Spec.RAM, h.Spec.Name)
+	}
+	h.guests[v.Name] = v
+	return nil
+}
+
+// Detach removes a guest (after migration or destruction).
+func (h *Host) Detach(name string) error {
+	if _, ok := h.guests[name]; !ok {
+		return fmt.Errorf("xen: no guest %q on %s", name, h.Spec.Name)
+	}
+	delete(h.guests, name)
+	return nil
+}
+
+// Guest returns the named guest.
+func (h *Host) Guest(name string) (*vm.VM, bool) {
+	g, ok := h.guests[name]
+	return g, ok
+}
+
+// Guests returns all guests sorted by name (deterministic iteration).
+func (h *Host) Guests() []*vm.VM {
+	out := make([]*vm.VM, 0, len(h.guests))
+	for _, g := range h.guests {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetMigrationActive marks/unmarks this host as a migration endpoint,
+// adding CPUmigr demand and the orchestration power overhead.
+func (h *Host) SetMigrationActive(active bool) { h.migActive = active }
+
+// MigrationActive reports endpoint status.
+func (h *Host) MigrationActive() bool { return h.migActive }
+
+// activeGuests counts guests currently consuming CPU.
+func (h *Host) activeGuests() int {
+	n := 0
+	for _, g := range h.guests {
+		if g.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// VMMDemand is CPUVMM(V(h,t)): dom-0 plus per-active-guest arbitration.
+func (h *Host) VMMDemand() units.Utilisation {
+	return Dom0BaseCPU + VMMPerVM*units.Utilisation(h.activeGuests())
+}
+
+// Allocation is the outcome of one scheduling decision: how much CPU each
+// consumer actually received this instant.
+type Allocation struct {
+	// VMM is the CPU granted to the hypervisor/dom-0.
+	VMM units.Utilisation
+	// Guests maps guest name to granted CPU.
+	Guests map[string]units.Utilisation
+	// Migration is the CPU granted to the migration helper.
+	Migration units.Utilisation
+	// Saturated reports whether demand exceeded capacity (multiplexing).
+	Saturated bool
+}
+
+// HostCPU returns CPU(h,t) per Eq. 2: everything the host's threads are
+// actually doing.
+func (a Allocation) HostCPU() units.Utilisation {
+	total := a.VMM + a.Migration
+	for _, u := range a.Guests {
+		total += u
+	}
+	return total
+}
+
+// GuestShare returns granted/demanded for a guest, the factor by which its
+// progress (and page dirtying) is slowed under multiplexing.
+func (a Allocation) GuestShare(name string, demanded units.Utilisation) float64 {
+	if demanded <= 0 {
+		return 1
+	}
+	return float64(a.Guests[name]) / float64(demanded)
+}
+
+// MigrationShare returns granted/demanded for the migration helper; the
+// achievable transfer bandwidth scales with it.
+func (a Allocation) MigrationShare() float64 {
+	if !a.Saturated {
+		return 1
+	}
+	return float64(a.Migration) / float64(MigrationCPUDemand)
+}
+
+// Schedule arbitrates the machine's threads among dom-0, guests and the
+// migration helper. dom-0 is served first (Xen keeps it responsive);
+// guests and the migration helper share the remainder proportionally to
+// demand when it does not fit — the proportional-share behaviour of the
+// credit scheduler with equal weights.
+func (h *Host) Schedule() Allocation {
+	cap := h.Spec.Capacity()
+	alloc := Allocation{Guests: make(map[string]units.Utilisation, len(h.guests))}
+
+	vmm := h.VMMDemand().Clamp(cap)
+	alloc.VMM = vmm
+	remaining := cap - vmm
+
+	var migDemand units.Utilisation
+	if h.migActive {
+		migDemand = MigrationCPUDemand
+	}
+	totalDemand := migDemand
+	for _, g := range h.guests {
+		totalDemand += g.Demand()
+	}
+	if totalDemand <= 0 {
+		return alloc
+	}
+	if totalDemand <= remaining {
+		for name, g := range h.guests {
+			alloc.Guests[name] = g.Demand()
+		}
+		alloc.Migration = migDemand
+		return alloc
+	}
+	// Oversubscribed: proportional scaling.
+	alloc.Saturated = true
+	scale := float64(remaining) / float64(totalDemand)
+	for name, g := range h.guests {
+		alloc.Guests[name] = units.Utilisation(float64(g.Demand()) * scale)
+	}
+	alloc.Migration = units.Utilisation(float64(migDemand) * scale)
+	return alloc
+}
+
+// Step advances all guest dirtying processes by dt seconds using the given
+// allocation, and returns the aggregate page-write events issued (guest
+// memory traffic for the power model).
+func (h *Host) Step(alloc Allocation, dtSeconds float64) int64 {
+	var events int64
+	for name, g := range h.guests {
+		if !g.Active() {
+			continue
+		}
+		events += g.StepMemory(dtSeconds, alloc.GuestShare(name, g.Demand()))
+	}
+	return events
+}
+
+// Load assembles the hw.Load of this host for the ground-truth power
+// model: scheduled CPU, guest memory traffic (pages/s), network fraction
+// supplied by the migration engine, and the endpoint flag.
+func (h *Host) Load(alloc Allocation, guestPagesPerSecond float64, netFrac units.Fraction) hw.Load {
+	return hw.Load{
+		CPU:       alloc.HostCPU(),
+		MemGBs:    guestPagesPerSecond * float64(units.PageSize) / 1e9,
+		NetFrac:   netFrac,
+		MigActive: h.migActive,
+	}
+}

@@ -1,0 +1,63 @@
+package wavm3
+
+import (
+	"repro/internal/consolidation"
+	"repro/internal/units"
+)
+
+// Consolidation re-exports the consolidation-manager types so downstream
+// users can plan energy-aware consolidation rounds with a trained
+// estimator (the paper's motivating application).
+type (
+	// HostState describes a physical host for consolidation planning.
+	HostState = consolidation.HostState
+	// VMState describes a running VM for consolidation planning.
+	VMState = consolidation.VMState
+	// ConsolidationPlan is the outcome of one planning round.
+	ConsolidationPlan = consolidation.Plan
+	// ConsolidationConfig bounds one planning round.
+	ConsolidationConfig = consolidation.Config
+)
+
+// CostAdapter makes an Estimator usable as the consolidation manager's
+// migration-cost model.
+type CostAdapter struct {
+	Est *Estimator
+	// Kind is the migration mechanism the manager would use (Live by
+	// default; zero value is NonLive, so set it explicitly).
+	Kind Kind
+}
+
+// Cost implements consolidation.CostModel: the data-centre-level energy of
+// moving vm between hosts with the given residual loads.
+func (c CostAdapter) Cost(vm VMState, srcBusy, dstBusy float64) (consolidation.MigrationCost, error) {
+	e, err := c.Est.Estimate(Plan{
+		Kind:              c.Kind,
+		VMMemoryBytes:     int64(vm.MemBytes),
+		VMBusyVCPUs:       vm.BusyVCPUs,
+		DirtyRatio:        float64(vm.DirtyRatio),
+		SourceBusyThreads: srcBusy,
+		TargetBusyThreads: dstBusy,
+	})
+	if err != nil {
+		return consolidation.MigrationCost{}, err
+	}
+	return consolidation.MigrationCost{Energy: e.Total(), Duration: e.Duration}, nil
+}
+
+// PlanConsolidation runs the energy-aware consolidation policy over the
+// given data-centre state using this estimator for migration costs.
+func (e *Estimator) PlanConsolidation(hosts []HostState, cfg ConsolidationConfig) (*ConsolidationPlan, error) {
+	policy := consolidation.EnergyAware{Model: CostAdapter{Est: e, Kind: Live}}
+	return policy.Plan(hosts, cfg)
+}
+
+// PlanConsolidationFFD runs the energy-blind first-fit-decreasing baseline
+// (moves are still priced with the estimator for comparison).
+func (e *Estimator) PlanConsolidationFFD(hosts []HostState, cfg ConsolidationConfig) (*ConsolidationPlan, error) {
+	policy := consolidation.FirstFitDecreasing{Model: CostAdapter{Est: e, Kind: Live}}
+	return policy.Plan(hosts, cfg)
+}
+
+// GiB converts a GiB count into the byte type host/VM states use.
+func GiB(n int) units.Bytes { return units.Bytes(n) * units.GiB }

@@ -1,0 +1,382 @@
+// Package wavm3 is the public API of the WAVM3 reproduction: a
+// workload-aware energy model for virtual machine migration after
+// De Maio, Kecskemeti and Prodan (IEEE CLUSTER 2015).
+//
+// The package exposes three layers:
+//
+//   - Simulate / SimulateRepeated run single migration experiments on the
+//     simulated two-host Xen testbed and return measured traces and
+//     energies.
+//   - TrainEstimator runs a measurement campaign, fits the WAVM3 model
+//     (and optionally the HUANG/LIU/STRUNK baselines) and returns an
+//     Estimator.
+//   - Estimator.Estimate answers the question the paper's model exists
+//     for: "how much energy will this migration cost on the source and
+//     target hosts?" — for a planned migration described by workload
+//     features, before running it.
+//
+// All estimates are joules at the AC side of the two hosts, covering the
+// initiation, transfer and activation phases of the migration.
+package wavm3
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Kind selects the migration mechanism.
+type Kind = migration.Kind
+
+// Migration kinds.
+const (
+	NonLive = migration.NonLive
+	Live    = migration.Live
+)
+
+// Machine pairs of the reproduced testbed.
+const (
+	PairOpteron = hw.PairM // m01–m02: 32-thread Opteron 8356 pair
+	PairXeon    = hw.PairO // o1–o2: 40-thread Xeon E5-2690 pair
+)
+
+// Joules re-exports the energy unit.
+type Joules = units.Joules
+
+// Watts re-exports the power unit.
+type Watts = units.Watts
+
+// Estimate is the per-host energy prediction for one migration.
+type Estimate struct {
+	// Source and Target are the predicted migration energies per host.
+	Source, Target Joules
+	// Duration is the predicted migration span (ms → me).
+	Duration time.Duration
+	// TransferBytes is the predicted amount of state data moved.
+	TransferBytes int64
+}
+
+// Total returns the data-centre-level energy of the migration.
+func (e Estimate) Total() Joules { return e.Source + e.Target }
+
+// Plan describes a migration whose energy is to be estimated, in the
+// model's feature terms.
+type Plan struct {
+	// Kind is the migration mechanism.
+	Kind Kind
+	// VMMemoryBytes is the migrating VM's memory size.
+	VMMemoryBytes int64
+	// VMBusyVCPUs is CPU(v,t): how many vCPUs the guest keeps busy.
+	VMBusyVCPUs float64
+	// DirtyRatio is the guest's steady-state dirty ratio (0 for non-live
+	// or idle-memory guests).
+	DirtyRatio float64
+	// SourceBusyThreads / TargetBusyThreads are CPU(h,t) of the two hosts
+	// *excluding* the migrating VM and the migration process itself.
+	SourceBusyThreads, TargetBusyThreads float64
+	// BandwidthBitsPerSec is the expected migration bandwidth; 0 selects
+	// the trained pair's hardware rate degraded by CPU contention.
+	BandwidthBitsPerSec float64
+}
+
+// Validate rejects unusable plans.
+func (p Plan) Validate() error {
+	switch {
+	case p.VMMemoryBytes <= 0:
+		return errors.New("wavm3: plan needs a VM memory size")
+	case p.VMBusyVCPUs < 0 || p.DirtyRatio < 0 || p.DirtyRatio > 1:
+		return errors.New("wavm3: plan has out-of-range workload features")
+	case p.SourceBusyThreads < 0 || p.TargetBusyThreads < 0:
+		return errors.New("wavm3: negative host load")
+	case p.BandwidthBitsPerSec < 0:
+		return errors.New("wavm3: negative bandwidth")
+	}
+	return nil
+}
+
+// Estimator is a trained WAVM3 model pair (live + non-live) bound to the
+// machine pair it was trained on.
+type Estimator struct {
+	pair     string
+	src, dst hw.MachineSpec
+	live     *core.Model
+	nonlive  *core.Model
+	suite    *experiments.Suite
+}
+
+// TrainingConfig controls the campaign the estimator is trained on.
+type TrainingConfig struct {
+	// Pair selects the machine pair (PairOpteron by default).
+	Pair string
+	// RunsPerPoint is the repeat count per experimental point (the paper
+	// used ≥ 10; smaller values train faster at some accuracy cost).
+	RunsPerPoint int
+	// Quick trims the sweeps to their extreme points. Training drops from
+	// minutes to seconds; coefficient quality degrades gracefully.
+	Quick bool
+	// Seed pins the campaign's randomness.
+	Seed int64
+}
+
+// TrainEstimator runs a CPULOAD+MEMLOAD campaign on the simulated testbed
+// and fits the WAVM3 models.
+func TrainEstimator(cfg TrainingConfig) (*Estimator, error) {
+	if cfg.Pair == "" {
+		cfg.Pair = hw.PairM
+	}
+	if cfg.RunsPerPoint <= 0 {
+		cfg.RunsPerPoint = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ecfg := experiments.Config{
+		Pair:        cfg.Pair,
+		MinRuns:     cfg.RunsPerPoint,
+		VarianceTol: 0.5,
+		Seed:        cfg.Seed,
+	}
+	if cfg.Quick {
+		ecfg.LoadLevels = []int{0, 5, 8}
+		ecfg.DirtyLevels = []units.Fraction{0.05, 0.55, 0.95}
+	}
+	camp, err := experiments.RunCampaign(ecfg,
+		experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := experiments.BuildSuite(camp, nil)
+	if err != nil {
+		return nil, err
+	}
+	src, dst, err := hw.Pair(cfg.Pair)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{
+		pair: cfg.Pair, src: src, dst: dst,
+		live: suite.WAVM3Live, nonlive: suite.WAVM3NonLive,
+		suite: suite,
+	}, nil
+}
+
+// Pair returns the machine pair the estimator was trained on.
+func (e *Estimator) Pair() string { return e.pair }
+
+// Estimate predicts the migration energy of a plan by synthesising the
+// phase timeline the plan implies — initiation, a transfer whose length
+// follows from the data volume and achievable bandwidth, activation — and
+// integrating the per-phase power models over it (Eqs. 3–7).
+func (e *Estimator) Estimate(p Plan) (Estimate, error) {
+	var out Estimate
+	if err := p.Validate(); err != nil {
+		return out, err
+	}
+	model := e.nonlive
+	if p.Kind == Live {
+		model = e.live
+	}
+
+	// Transfer volume: non-live moves the image once; live pre-copy
+	// retransmits dirtied pages, approaching Xen's 3× safety valve as the
+	// dirty ratio grows (the engine's measured expansion is ≈ 1+2·DR).
+	mem := float64(p.VMMemoryBytes)
+	expansion := 1.0
+	if p.Kind == Live {
+		expansion = 1 + 2*p.DirtyRatio
+		if expansion > migration.DefaultMaxDataFactor {
+			expansion = migration.DefaultMaxDataFactor
+		}
+	}
+	bytes := mem * expansion
+
+	// Achievable bandwidth: the hardware migration rate degraded by CPU
+	// contention on either endpoint, unless the caller pinned one.
+	bw := p.BandwidthBitsPerSec
+	if bw == 0 {
+		srcShare := helperShare(p.SourceBusyThreads+p.VMBusyVCPUs, float64(e.src.Threads))
+		dstShare := helperShare(p.TargetBusyThreads, float64(e.dst.Threads))
+		share := srcShare
+		if dstShare < share {
+			share = dstShare
+		}
+		bw = float64(e.src.MigrationRate) * share
+	}
+	transfer := time.Duration(bytes * 8 / bw * float64(time.Second))
+	init := migration.DefaultInitiationTime
+	activ := migration.DefaultActivationTime
+	out.Duration = init + transfer + activ
+	out.TransferBytes = int64(bytes)
+
+	// Synthesise the observation timeline at the meter cadence and
+	// integrate per host.
+	for _, role := range core.Roles() {
+		obs := e.synthObs(p, role, init, transfer, activ, bw)
+		rec := &core.RunRecord{
+			Pair: e.pair, Kind: p.Kind, Role: role, RunID: "estimate",
+			Obs:            obs,
+			MeasuredEnergy: 1, // unused by prediction; Validate needs > 0
+			VMMem:          units.Bytes(p.VMMemoryBytes),
+		}
+		pred, err := model.PredictEnergy(rec)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if role == core.Source {
+			out.Source = pred
+		} else {
+			out.Target = pred
+		}
+	}
+	return out, nil
+}
+
+// helperShare approximates the CPU share the dom-0 migration helper gets
+// on a host with the given busy threads.
+func helperShare(busy, capacity float64) float64 {
+	demand := busy + float64(migrationHelperDemand)
+	if demand <= capacity {
+		return 1
+	}
+	return capacity / demand
+}
+
+const migrationHelperDemand = float64(1.35) // xen.MigrationCPUDemand
+
+// synthObs builds the plan's feature timeline for one role.
+func (e *Estimator) synthObs(p Plan, role core.Role, init, transfer, activ time.Duration, bw float64) []trace.Observation {
+	const step = 500 * time.Millisecond
+	var obs []trace.Observation
+	hostBusy := p.SourceBusyThreads
+	if role == core.Target {
+		hostBusy = p.TargetBusyThreads
+	}
+	add := func(at time.Duration, ph trace.Phase) {
+		o := trace.Observation{At: at, Phase: ph}
+		o.FeatureSample.At = at
+
+		vmOnHost := role == core.Source // pre-activation placement
+		guestActive := p.Kind == Live && !(ph == trace.PhaseActivation)
+		switch ph {
+		case trace.PhaseInitiation, trace.PhaseTransfer:
+			hcpu := hostBusy + vmmOverhead(hostBusy) + migrationHelperDemand
+			if vmOnHost && guestActive {
+				hcpu += p.VMBusyVCPUs
+				o.VMCPU = units.Utilisation(p.VMBusyVCPUs)
+				o.DirtyRatio = units.Fraction(p.DirtyRatio)
+			}
+			o.HostCPU = units.Utilisation(hcpu)
+			if ph == trace.PhaseTransfer {
+				o.Bandwidth = units.BitsPerSecond(bw)
+			}
+		case trace.PhaseActivation:
+			hcpu := hostBusy + vmmOverhead(hostBusy)
+			if role == core.Target {
+				// The guest starts on the target during activation.
+				hcpu += p.VMBusyVCPUs
+				o.VMCPU = units.Utilisation(p.VMBusyVCPUs)
+			}
+			o.HostCPU = units.Utilisation(hcpu)
+		}
+		// Clamp to physical capacity (multiplexing).
+		cap := units.Utilisation(e.src.Threads)
+		if role == core.Target {
+			cap = units.Utilisation(e.dst.Threads)
+		}
+		o.HostCPU = o.HostCPU.Clamp(cap)
+		obs = append(obs, o)
+	}
+	at := time.Duration(0)
+	for ; at < init; at += step {
+		add(at, trace.PhaseInitiation)
+	}
+	end := init + transfer
+	for ; at < end; at += step {
+		add(at, trace.PhaseTransfer)
+	}
+	end += activ
+	for ; at <= end; at += step {
+		add(at, trace.PhaseActivation)
+	}
+	return obs
+}
+
+// vmmOverhead approximates CPUVMM for a host running roughly busy/4
+// load VMs of 4 vCPUs each.
+func vmmOverhead(busyThreads float64) float64 {
+	return 0.25 + 0.08*(busyThreads/4+1)
+}
+
+// Suite exposes the underlying evaluation suite for advanced use (tables,
+// baselines, datasets).
+func (e *Estimator) Suite() *experiments.Suite { return e.suite }
+
+// CompareBaselines evaluates WAVM3 against HUANG, LIU and STRUNK on the
+// estimator's held-out test runs, returning NRMSE per model for the given
+// kind and role name ("Source"/"Target").
+func (e *Estimator) CompareBaselines(kind Kind) (map[string]map[string]float64, error) {
+	rows, err := e.suite.Table7()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]float64)
+	for _, r := range rows {
+		if out[r.Model] == nil {
+			out[r.Model] = make(map[string]float64)
+		}
+		if kind == Live {
+			out[r.Model][r.Host] = r.Live.NRMSE
+		} else {
+			out[r.Model][r.Host] = r.NonLive.NRMSE
+		}
+	}
+	return out, nil
+}
+
+// Simulate runs one migration experiment on the simulated testbed.
+type SimulationResult = sim.RunResult
+
+// Scenario re-exports the simulation scenario description.
+type Scenario = sim.Scenario
+
+// Simulate executes one scenario (a thin wrapper over the internal
+// simulator for example programs and exploratory use).
+func Simulate(sc Scenario) (*SimulationResult, error) { return sim.Run(sc) }
+
+// SimulateRepeated repeats a scenario until the paper's variance rule
+// holds (≥ minRuns runs, variance change < tol).
+func SimulateRepeated(sc Scenario, minRuns int, tol float64) ([]*SimulationResult, error) {
+	return sim.RunRepeated(sc, minRuns, tol)
+}
+
+// TrainBaselines gives example programs access to baseline models trained
+// on the estimator's training split.
+func (e *Estimator) TrainBaselines() (core.EnergyModel, core.EnergyModel, core.EnergyModel, error) {
+	h, err := baseline.TrainHuang(e.suite.TrainM)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l, err := baseline.TrainLiu(e.suite.TrainM)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := baseline.TrainStrunk(e.suite.TrainM)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return h, l, s, nil
+}
+
+// String describes the estimator.
+func (e *Estimator) String() string {
+	return fmt.Sprintf("wavm3.Estimator(pair=%s)", e.pair)
+}
