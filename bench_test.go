@@ -13,6 +13,10 @@
 //	Tab. VI  BenchmarkTable6BaselineCoefficients
 //	Tab. VII BenchmarkTable7Comparison
 //	—        BenchmarkAblationLiveFeatures (design-choice ablation)
+//	—        BenchmarkCampaign{Sequential,Parallel} and
+//	         BenchmarkRepeatedRuns{Sequential,Parallel}: the parallel
+//	         engine's speedup on identical workloads (outputs are
+//	         bit-identical; only wall-clock differs)
 //
 // Each benchmark prints its artefact once (the rows/series the paper
 // reports) and then measures the cost of regenerating it. The sweeps use
@@ -32,6 +36,8 @@ import (
 	"repro/internal/hw"
 	"repro/internal/migration"
 	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/vm"
 )
 
 // benchConfig uses the paper's full sweep levels with two repeats.
@@ -227,6 +233,53 @@ func BenchmarkCrossValidationLive(b *testing.B) {
 		})
 	}
 }
+
+// benchCampaignWorkers measures the model-training campaign (the three
+// families TrainEstimator runs) at a fixed worker count. Comparing the
+// Sequential and Parallel variants measures the parallel engine's
+// wall-clock speedup; their outputs are bit-identical by construction
+// (see TestCampaignDeterministicAcrossWorkers), so only the time differs.
+//
+//	go test -run='^$' -bench='BenchmarkCampaign' -benchtime=3x .
+func benchCampaignWorkers(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchConfig(hw.PairM, 31)
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunCampaign(cfg,
+			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSequential is the pre-parallel-engine baseline: one
+// experimental point at a time, one run at a time.
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaignWorkers(b, 1) }
+
+// BenchmarkCampaignParallel fans points and repeated runs across all CPUs.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaignWorkers(b, 0) }
+
+// benchRepeatedWorkers isolates the repeated-run driver: one scenario run
+// to the paper's ≥10-repeat rule, sequentially vs across all CPUs.
+func benchRepeatedWorkers(b *testing.B, workers int) {
+	b.Helper()
+	sc := sim.Scenario{
+		Kind:          migration.Live,
+		MigratingType: vm.TypeMigratingMem,
+		Seed:          37,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunRepeatedWorkers(sc, 10, 0.10, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepeatedRunsSequential(b *testing.B) { benchRepeatedWorkers(b, 1) }
+
+func BenchmarkRepeatedRunsParallel(b *testing.B) { benchRepeatedWorkers(b, 0) }
 
 func BenchmarkAblationLiveFeatures(b *testing.B) {
 	s := benchSuite(b)

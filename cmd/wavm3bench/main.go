@@ -30,9 +30,10 @@ var artefactOrder = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ta
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced sweeps and repeats")
-		only  = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
-		seed  = flag.Int64("seed", 1, "campaign seed")
+		quick   = flag.Bool("quick", false, "reduced sweeps and repeats")
+		only    = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
@@ -50,8 +51,10 @@ func main() {
 
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
+	mcfg.Workers = *workers
 	ocfg := experiments.DefaultConfig(hw.PairO)
 	ocfg.Seed = *seed + 1000
+	ocfg.Workers = *workers
 	if *quick {
 		for _, c := range []*experiments.Config{&mcfg, &ocfg} {
 			c.MinRuns = 2

@@ -22,14 +22,16 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "trim sweeps and repeats for a fast demonstration")
-		runs  = flag.Int("runs", 0, "override repeats per point (0 = 10, or 2 with -quick)")
-		seed  = flag.Int64("seed", 1, "campaign seed")
+		quick   = flag.Bool("quick", false, "trim sweeps and repeats for a fast demonstration")
+		runs    = flag.Int("runs", 0, "override repeats per point (0 = 10, or 2 with -quick)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig(hw.PairM)
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *quick {
 		cfg.MinRuns = 2
 		cfg.VarianceTol = 0.9

@@ -24,16 +24,17 @@ import (
 
 func main() {
 	var (
-		family = flag.String("family", "CPULOAD-SOURCE", "experiment family: CPULOAD-SOURCE, CPULOAD-TARGET, MEMLOAD-VM, MEMLOAD-SOURCE, MEMLOAD-TARGET")
-		pair   = flag.String("pair", hw.PairM, "machine pair: m01-m02 or o1-o2")
-		runs   = flag.Int("runs", 3, "minimum repeats per experimental point")
-		quick  = flag.Bool("quick", false, "sweep only the extreme load/dirty levels")
-		csvDir = flag.String("csv", "", "directory to write per-series CSV trace files (optional)")
-		seed   = flag.Int64("seed", 1, "campaign seed")
+		family  = flag.String("family", "CPULOAD-SOURCE", "experiment family: CPULOAD-SOURCE, CPULOAD-TARGET, MEMLOAD-VM, MEMLOAD-SOURCE, MEMLOAD-TARGET")
+		pair    = flag.String("pair", hw.PairM, "machine pair: m01-m02 or o1-o2")
+		runs    = flag.Int("runs", 3, "minimum repeats per experimental point")
+		quick   = flag.Bool("quick", false, "sweep only the extreme load/dirty levels")
+		csvDir  = flag.String("csv", "", "directory to write per-series CSV trace files (optional)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed}
+	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed, Workers: *workers}
 	if *quick {
 		cfg.LoadLevels = []int{0, 8}
 		cfg.DirtyLevels = []units.Fraction{0.05, 0.95}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/consolidation"
 	"repro/internal/hw"
 	"repro/internal/migration"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vm"
@@ -49,6 +50,13 @@ type Executor struct {
 	Kind migration.Kind
 	// Seed pins the simulations.
 	Seed int64
+	// Workers bounds how many move simulations run concurrently
+	// (0 = runtime.NumCPU(), 1 = sequential). Every move's scenario —
+	// including the residual host loads, which depend on the moves before
+	// it — is derived in plan order before any simulation starts, and each
+	// move's seed derives from its plan index, so the report is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // scenarioFor translates one move into a testbed scenario: the moved VM's
@@ -98,7 +106,10 @@ func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []c
 		}
 		state[h.Name] = &h
 	}
-	rep := &ExecutionReport{Policy: policy}
+	// Pass 1 (sequential, cheap): evolve the data-centre state move by
+	// move and derive every scenario, exactly as the one-at-a-time
+	// executor did — residual loads see all earlier moves applied.
+	scenarios := make([]sim.Scenario, 0, len(plan.Moves))
 	for i, mv := range plan.Moves {
 		src, ok := state[mv.From]
 		if !ok {
@@ -128,14 +139,28 @@ func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []c
 		if err != nil {
 			return nil, err
 		}
-		run, err := sim.Run(sc)
-		if err != nil {
-			return nil, fmt.Errorf("dcsim: executing move %d (%s): %w", i, sc.Name, err)
-		}
+		scenarios = append(scenarios, sc)
 		dst.VMs = append(dst.VMs, vmState)
+	}
 
+	// Pass 2 (parallel, expensive): simulate every move. Each scenario is
+	// self-contained and seeded from its plan index, so fan-out order
+	// cannot affect the measurements.
+	runs, err := parallel.Map(e.Workers, len(scenarios), func(i int) (*sim.RunResult, error) {
+		run, err := sim.Run(scenarios[i])
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: executing move %d (%s): %w", i, scenarios[i].Name, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ExecutionReport{Policy: policy}
+	for i, run := range runs {
 		res := MoveResult{
-			Move:           mv,
+			Move:           plan.Moves[i],
 			MeasuredEnergy: run.SourceEnergy.Total() + run.TargetEnergy.Total(),
 			Duration:       run.Bounds.ME - run.Bounds.MS,
 			BytesSent:      run.BytesSent,

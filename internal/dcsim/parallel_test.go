@@ -1,0 +1,41 @@
+package dcsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/consolidation"
+)
+
+// TestExecutePlanDeterministicAcrossWorkers pins the two-pass executor's
+// guarantee: residual-load bookkeeping is derived in plan order before any
+// simulation starts, so a parallel execution measures exactly what the
+// sequential one did, move for move.
+func TestExecutePlanDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	hosts := testDC()
+	plan, err := consolidation.EnergyAware{Model: stubCost{}}.Plan(hosts, consolidation.Config{Horizon: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) < 2 {
+		t.Fatalf("plan has %d moves; need ≥ 2 for an ordering test", len(plan.Moves))
+	}
+
+	seq := Executor{Seed: 9, Workers: 1}
+	par := Executor{Seed: 9, Workers: 4}
+	repSeq, err := seq.ExecutePlan("energy-aware", plan, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPar, err := par.ExecutePlan("energy-aware", plan, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repSeq, repPar) {
+		t.Fatalf("reports differ between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", repSeq, repPar)
+	}
+}

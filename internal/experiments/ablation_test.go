@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestAblationVariantCatalogue(t *testing.T) {
+	vs := ablationVariants()
+	if len(vs) != 5 {
+		t.Fatalf("%d variants, want 5", len(vs))
+	}
+	want := []string{"full", "no-DR", "no-BW", "no-VMCPU", "no-HostCPU"}
+	for i, v := range vs {
+		if v.name != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v.name, want[i])
+		}
+	}
+}
+
+// ablationRecord is a record with every feature non-zero, so each
+// variant's zeroing is observable.
+func ablationRecord() *core.RunRecord {
+	return &core.RunRecord{
+		RunID: "ab#0", Obs: []trace.Observation{
+			{FeatureSample: trace.FeatureSample{HostCPU: 3, VMCPU: 1, DirtyRatio: 0.5, Bandwidth: 1e9}, Power: 500, Phase: trace.PhaseTransfer},
+			{At: time.Second, FeatureSample: trace.FeatureSample{At: time.Second, HostCPU: 2, VMCPU: 1, DirtyRatio: 0.4, Bandwidth: 2e9}, Power: 480, Phase: trace.PhaseTransfer},
+		},
+		MeasuredEnergy: 100,
+	}
+}
+
+func TestAblationVariantsZeroExactlyTheirFeature(t *testing.T) {
+	for _, v := range ablationVariants() {
+		r := ablationRecord()
+		v.zero(r)
+		for i, o := range r.Obs {
+			zeroed := map[string]bool{
+				"DR":      o.DirtyRatio == 0,
+				"BW":      o.Bandwidth == 0,
+				"VMCPU":   o.VMCPU == 0,
+				"HostCPU": o.HostCPU == 0,
+			}
+			for feat, isZero := range zeroed {
+				wantZero := v.name == "no-"+feat
+				if isZero != wantZero {
+					t.Errorf("variant %s obs %d: %s zeroed=%v, want %v", v.name, i, feat, isZero, wantZero)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneDatasetIsDeep(t *testing.T) {
+	ds := &core.Dataset{}
+	if err := ds.Add(ablationRecord()); err != nil {
+		t.Fatal(err)
+	}
+	c := cloneDataset(ds)
+	if c.Len() != ds.Len() {
+		t.Fatalf("clone has %d records, want %d", c.Len(), ds.Len())
+	}
+	// Mutating the clone must not leak into the original.
+	c.Runs[0].Obs[0].DirtyRatio = 0
+	c.Runs[0].RunID = "mutated"
+	if ds.Runs[0].Obs[0].DirtyRatio != 0.5 {
+		t.Error("observation mutation leaked into the source dataset")
+	}
+	if ds.Runs[0].RunID != "ab#0" {
+		t.Error("record mutation leaked into the source dataset")
+	}
+}
+
+func TestAblateLiveValidation(t *testing.T) {
+	if _, err := AblateLive(nil); err == nil {
+		t.Error("nil suite must fail")
+	}
+	if _, err := AblateLive(&Suite{}); err == nil {
+		t.Error("suite without datasets must fail")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -26,31 +27,38 @@ type Campaign struct {
 }
 
 // RunFamily executes every point of one family under the config and
-// returns its point results (no dataset assembly).
+// returns its point results (no dataset assembly). Points fan out across
+// cfg.Workers; when the family has fewer points than workers, the spare
+// budget parallelises the repeated runs inside each point. Point i always
+// derives its seed as cfg.Seed + i*7919, so every worker count produces
+// the bit-identical result sequence.
 func RunFamily(cfg Config, f Family) ([]*PointResult, error) {
 	cfg = cfg.withDefaults()
 	pts, err := cfg.points(f)
 	if err != nil {
 		return nil, err
 	}
-	var out []*PointResult
-	for i, p := range pts {
+	pointWorkers, runWorkers := parallel.Split(cfg.Workers, len(pts))
+	return parallel.Map(pointWorkers, len(pts), func(i int) (*PointResult, error) {
+		p := pts[i]
 		sc, err := p.Scenario(cfg.Pair, cfg.Seed+int64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
 		sc = shrinkTimings(sc)
-		runs, err := sim.RunRepeated(sc, cfg.MinRuns, cfg.VarianceTol)
+		runs, err := sim.RunRepeatedWorkers(sc, cfg.MinRuns, cfg.VarianceTol, runWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s point %s: %w", f, p.Label(), err)
 		}
-		out = append(out, &PointResult{Point: p, Runs: runs})
-	}
-	return out, nil
+		return &PointResult{Point: p, Runs: runs}, nil
+	})
 }
 
 // RunCampaign executes the given families (all five when nil) and builds
-// the regression dataset from every run.
+// the regression dataset from every run. Families execute in order — each
+// one already fans its points out across the full cfg.Workers budget — and
+// dataset assembly walks the results in family/point/run order, so the
+// dataset row order is independent of the worker count.
 func RunCampaign(cfg Config, families ...Family) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if len(families) == 0 {

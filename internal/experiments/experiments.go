@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/migration"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vm"
@@ -146,6 +147,12 @@ type Config struct {
 	LoadLevels []int
 	// DirtyLevels optionally overrides the MEMLOAD-VM sweep.
 	DirtyLevels []units.Fraction
+	// Workers bounds the campaign's concurrency: how many experimental
+	// points (and, when points are fewer than workers, repeated runs within
+	// a point) execute at once. 0 means runtime.NumCPU(); 1 recovers the
+	// strictly sequential runner. Results are bit-identical for every
+	// value — per-point seeds derive from the point index alone.
+	Workers int
 }
 
 // DefaultConfig is the paper-faithful campaign configuration.
@@ -167,6 +174,7 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	c.Workers = parallel.Workers(c.Workers)
 	return c
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -9,10 +10,29 @@ import (
 	"repro/internal/units"
 )
 
-// buildSmallSuite runs a reduced two-family campaign (CPU staircase for
-// both kinds, dirty sweep for live) and trains all four models.
+// Shared test campaigns: the m- and o-pair campaigns behind the suite
+// tests are by far their dominant cost, and every test reads the suite
+// without mutating it (AblateLive clones before zeroing features), so they
+// are run once per test binary and shared. The campaigns themselves use
+// the default parallel runner; determinism of the result is covered by
+// TestCampaignDeterministicAcrossWorkers.
+var (
+	smallSuiteMu sync.Mutex
+	smallCampM   *Campaign
+	smallCampO   *Campaign
+	smallSuites  = map[bool]*Suite{}
+)
+
+// buildSmallSuite returns the cached suite for a reduced two-family
+// campaign (CPU staircase for both kinds, dirty sweep for live) with all
+// four models trained.
 func buildSmallSuite(t *testing.T, withO bool) *Suite {
 	t.Helper()
+	smallSuiteMu.Lock()
+	defer smallSuiteMu.Unlock()
+	if s := smallSuites[withO]; s != nil {
+		return s
+	}
 	cfg := Config{
 		Pair:        hw.PairM,
 		MinRuns:     3,
@@ -21,27 +41,35 @@ func buildSmallSuite(t *testing.T, withO bool) *Suite {
 		LoadLevels:  []int{0, 5, 8},
 		DirtyLevels: []units.Fraction{0.05, 0.55, 0.95},
 	}
-	m, err := RunCampaign(cfg, CPULoadSource, CPULoadTarget, MemLoadVM)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var o *Campaign
-	if withO {
-		ocfg := cfg
-		ocfg.Pair = hw.PairO
-		ocfg.Seed = 23
-		ocfg.MinRuns = 2
-		ocfg.LoadLevels = []int{0, 8}
-		ocfg.DirtyLevels = []units.Fraction{0.55}
-		o, err = RunCampaign(ocfg, CPULoadSource, CPULoadTarget, MemLoadVM)
+	if smallCampM == nil {
+		m, err := RunCampaign(cfg, CPULoadSource, CPULoadTarget, MemLoadVM)
 		if err != nil {
 			t.Fatal(err)
 		}
+		smallCampM = m
 	}
-	s, err := BuildSuite(m, o)
+	var o *Campaign
+	if withO {
+		if smallCampO == nil {
+			ocfg := cfg
+			ocfg.Pair = hw.PairO
+			ocfg.Seed = 23
+			ocfg.MinRuns = 2
+			ocfg.LoadLevels = []int{0, 8}
+			ocfg.DirtyLevels = []units.Fraction{0.55}
+			oc, err := RunCampaign(ocfg, CPULoadSource, CPULoadTarget, MemLoadVM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smallCampO = oc
+		}
+		o = smallCampO
+	}
+	s, err := BuildSuite(smallCampM, o)
 	if err != nil {
 		t.Fatal(err)
 	}
+	smallSuites[withO] = s
 	return s
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/migration"
 	"repro/internal/netsim"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -297,26 +298,35 @@ func Run(sc Scenario) (*RunResult, error) {
 // RunRepeated executes a scenario until the paper's variance-convergence
 // rule holds on the total source-side migration energy: at least minRuns
 // runs, and the variance change from adding the latest run below tol.
-// Each run gets a distinct derived seed.
+// Each run gets a distinct derived seed. Runs fan out across all CPUs;
+// use RunRepeatedWorkers to bound or disable the parallelism.
 func RunRepeated(sc Scenario, minRuns int, tol float64) ([]*RunResult, error) {
+	return RunRepeatedWorkers(sc, minRuns, tol, 0)
+}
+
+// RunRepeatedWorkers is RunRepeated with an explicit worker budget
+// (<= 0 means runtime.NumCPU()). Run i always gets seed sc.Seed + i*1009
+// and the convergence rule is applied to run prefixes in index order, so
+// every worker count returns the bit-identical run sequence; workers only
+// changes how many speculative runs execute concurrently.
+func RunRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
 	if minRuns < 2 {
 		return nil, errors.New("sim: need at least two runs")
 	}
 	const maxRuns = 50
-	var out []*RunResult
-	var energies []float64
-	for i := 0; len(out) < maxRuns; i++ {
-		run := sc
-		run.Seed = sc.Seed + int64(i)*1009
-		r, err := Run(run)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-		energies = append(energies, float64(r.SourceEnergy.Total()))
-		if stats.VarianceConverged(energies, minRuns, tol) {
-			return out, nil
-		}
-	}
-	return out, nil
+	// minRuns is the first-batch hint: convergence cannot fire earlier, so
+	// speculating past it before the first variance check is pure waste.
+	return parallel.Until(workers, maxRuns, minRuns,
+		func(i int) (*RunResult, error) {
+			run := sc
+			run.Seed = sc.Seed + int64(i)*1009
+			return Run(run)
+		},
+		func(prefix []*RunResult) bool {
+			energies := make([]float64, len(prefix))
+			for i, r := range prefix {
+				energies[i] = float64(r.SourceEnergy.Total())
+			}
+			return stats.VarianceConverged(energies, minRuns, tol)
+		})
 }

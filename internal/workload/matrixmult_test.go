@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestMatrixMultMatchesSerialReference checks the parallel product against
+// the plain triple-loop for several shapes and worker counts — the exact
+// element values, not just the checksum.
+func TestMatrixMultMatchesSerialReference(t *testing.T) {
+	for _, n := range []int{1, 7, 32, 65} {
+		for _, workers := range []int{1, 2, 3, 16} {
+			m, err := NewMatrixMult(n, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run()
+			ref := m.SerialReference()
+			for i := range ref {
+				if math.Abs(m.c[i]-ref[i]) > 1e-9 {
+					t.Fatalf("n=%d workers=%d: c[%d] = %v, want %v", n, workers, i, m.c[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixMultRunIsRepeatable(t *testing.T) {
+	m, err := NewMatrixMult(33, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	first := m.Checksum()
+	for i := 0; i < 3; i++ {
+		m.Run() // must recompute from scratch, not accumulate
+		if got := m.Checksum(); got != first {
+			t.Fatalf("run %d checksum %v != first %v", i+2, got, first)
+		}
+	}
+}
+
+func TestMatrixMultMoreWorkersThanRows(t *testing.T) {
+	// 2 rows across 8 workers: the row-block split must not panic or drop
+	// rows when most workers get nothing.
+	m, err := NewMatrixMult(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	ref := m.SerialReference()
+	for i := range ref {
+		if m.c[i] != ref[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, m.c[i], ref[i])
+		}
+	}
+}
+
+func TestMatrixMultAccessors(t *testing.T) {
+	m, err := NewMatrixMult(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 16 || m.Workers() != 3 {
+		t.Errorf("N/Workers = %d/%d", m.N(), m.Workers())
+	}
+	if got, want := m.FlopCount(), int64(2*16*16*16); got != want {
+		t.Errorf("FlopCount = %d, want %d", got, want)
+	}
+	s := m.String()
+	if !strings.Contains(s, "n=16") || !strings.Contains(s, "workers=3") {
+		t.Errorf("String = %q", s)
+	}
+	if s != fmt.Sprintf("matrixmult(n=%d, workers=%d)", 16, 3) {
+		t.Errorf("String format drifted: %q", s)
+	}
+}
+
+func TestMatrixMultChecksumDetectsTransposition(t *testing.T) {
+	// The alternating-sign checksum must notice a row/column swap: compare
+	// against the checksum of the transposed product.
+	m, err := NewMatrixMult(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	orig := m.Checksum()
+	n := m.n
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.c[i*n+j], m.c[j*n+i] = m.c[j*n+i], m.c[i*n+j]
+		}
+	}
+	if m.Checksum() == orig {
+		t.Error("checksum unchanged by transposition; too weak to catch index bugs")
+	}
+}

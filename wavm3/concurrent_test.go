@@ -1,0 +1,144 @@
+package wavm3
+
+import (
+	"sync"
+	"testing"
+)
+
+// concurrencyPlans is a spread of plans exercising both kinds and several
+// load shapes, so the hammering goroutines don't all hit one code path.
+func concurrencyPlans() []Plan {
+	return []Plan{
+		{Kind: Live, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 1, DirtyRatio: 0.05},
+		{Kind: Live, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 4, DirtyRatio: 0.95},
+		{Kind: Live, VMMemoryBytes: 2 << 30, VMBusyVCPUs: 2, DirtyRatio: 0.55, SourceBusyThreads: 12},
+		{Kind: NonLive, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 4},
+		{Kind: NonLive, VMMemoryBytes: 8 << 30, TargetBusyThreads: 20},
+	}
+}
+
+// TestEstimateConcurrent hammers a trained estimator from many goroutines
+// and checks every answer against the serial result for the same plan:
+// concurrent Estimate calls must neither race (caught by -race) nor
+// perturb each other's predictions.
+func TestEstimateConcurrent(t *testing.T) {
+	e := quickEstimator(t)
+	plans := concurrencyPlans()
+
+	serial := make([]Estimate, len(plans))
+	for i, p := range plans {
+		var err error
+		if serial[i], err = e.Estimate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 16
+	const iterations = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				i := (g + it) % len(plans)
+				got, err := e.Estimate(plans[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != serial[i] {
+					t.Errorf("goroutine %d: plan %d estimate %+v != serial %+v", g, i, got, serial[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrateDuringEstimates swaps the estimator between machine pairs
+// while readers hammer Estimate. Every answer must match one of the two
+// pairs' serial results exactly — a torn read mixing the pairs' models
+// would produce a third value (and -race would flag the access).
+func TestCalibrateDuringEstimates(t *testing.T) {
+	e := quickEstimator(t)
+	plan := Plan{Kind: Live, VMMemoryBytes: 4 << 30, VMBusyVCPUs: 2, DirtyRatio: 0.5}
+
+	onTrainPair, err := e.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Calibrate(PairXeon); err != nil {
+		t.Fatal(err)
+	}
+	onXeon, err := e.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Calibrate(PairOpteron); err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != onTrainPair {
+		t.Fatalf("calibrating away and back changed the estimate: %+v vs %+v", back, onTrainPair)
+	}
+	if onXeon == onTrainPair {
+		t.Fatal("calibration to the Xeon pair changed nothing; the test cannot detect tearing")
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := e.Estimate(plan)
+				if err != nil {
+					t.Errorf("concurrent estimate: %v", err)
+					return
+				}
+				if got != onTrainPair && got != onXeon {
+					t.Errorf("torn estimate %+v matches neither pair's serial result", got)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		pair := PairXeon
+		if i%2 == 1 {
+			pair = PairOpteron
+		}
+		if err := e.Calibrate(pair); err != nil {
+			t.Errorf("calibrate: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Leave the shared estimator as trained for the other tests.
+	if err := e.Calibrate(PairOpteron); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pair() != PairOpteron {
+		t.Errorf("pair after recalibration = %s", e.Pair())
+	}
+}

@@ -17,11 +17,23 @@
 //
 // All estimates are joules at the AC side of the two hosts, covering the
 // initiation, transfer and activation phases of the migration.
+//
+// # Concurrency
+//
+// Training campaigns fan their experimental points and repeated runs out
+// across CPUs (TrainingConfig.Workers; 0 = runtime.NumCPU(), 1 =
+// sequential). Parallelism never changes results: per-point and per-run
+// seeds derive from indices alone and results are collected in order, so
+// every worker count produces bit-identical datasets and coefficients.
+// A trained Estimator is safe for concurrent use — any number of
+// goroutines may call Estimate at once, including while Calibrate
+// transports the model to another machine pair.
 package wavm3
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -105,12 +117,45 @@ func (p Plan) Validate() error {
 
 // Estimator is a trained WAVM3 model pair (live + non-live) bound to the
 // machine pair it was trained on.
+//
+// An Estimator is safe for concurrent use: any number of goroutines may
+// call Estimate (and the other read methods) at once, including while
+// another goroutine Calibrates the estimator onto a different machine
+// pair. Estimate snapshots the fitted state once on entry, so a
+// concurrent Calibrate never tears a prediction — every call answers
+// entirely from one consistent model.
 type Estimator struct {
+	mu       sync.RWMutex
 	pair     string
 	src, dst hw.MachineSpec
 	live     *core.Model
 	nonlive  *core.Model
-	suite    *experiments.Suite
+
+	// Training-time state, immutable after construction: Calibrate always
+	// derives the current models from these so repeated calibrations
+	// compose (and calibrating back to the training pair is exact).
+	trainSrc              hw.MachineSpec
+	baseLive, baseNonlive *core.Model
+
+	suite *experiments.Suite
+}
+
+// fitted is the immutable snapshot Estimate computes from: the fields an
+// Estimate call reads, captured under one lock acquisition.
+type fitted struct {
+	pair     string
+	src, dst hw.MachineSpec
+	live     *core.Model
+	nonlive  *core.Model
+}
+
+// snapshot captures the current fitted state. The models themselves are
+// never mutated after training (Calibrate swaps in bias-shifted copies),
+// so sharing the pointers is safe.
+func (e *Estimator) snapshot() fitted {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return fitted{pair: e.pair, src: e.src, dst: e.dst, live: e.live, nonlive: e.nonlive}
 }
 
 // TrainingConfig controls the campaign the estimator is trained on.
@@ -125,6 +170,11 @@ type TrainingConfig struct {
 	Quick bool
 	// Seed pins the campaign's randomness.
 	Seed int64
+	// Workers bounds the training campaign's concurrency (0 means
+	// runtime.NumCPU(), 1 forces the sequential runner). The fitted
+	// coefficients are bit-identical for every value; workers only changes
+	// training wall-clock.
+	Workers int
 }
 
 // TrainEstimator runs a CPULOAD+MEMLOAD campaign on the simulated testbed
@@ -144,6 +194,7 @@ func TrainEstimator(cfg TrainingConfig) (*Estimator, error) {
 		MinRuns:     cfg.RunsPerPoint,
 		VarianceTol: 0.5,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	}
 	if cfg.Quick {
 		ecfg.LoadLevels = []int{0, 5, 8}
@@ -165,12 +216,41 @@ func TrainEstimator(cfg TrainingConfig) (*Estimator, error) {
 	return &Estimator{
 		pair: cfg.Pair, src: src, dst: dst,
 		live: suite.WAVM3Live, nonlive: suite.WAVM3NonLive,
+		trainSrc: src,
+		baseLive: suite.WAVM3Live, baseNonlive: suite.WAVM3NonLive,
 		suite: suite,
 	}, nil
 }
 
-// Pair returns the machine pair the estimator was trained on.
-func (e *Estimator) Pair() string { return e.pair }
+// Pair returns the machine pair the estimator currently predicts for.
+func (e *Estimator) Pair() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pair
+}
+
+// Calibrate transports the estimator onto another machine pair using the
+// paper's C1→C2 idle-power bias correction: the phase constants are
+// shifted by the idle-power difference between the new pair and the
+// training pair, while the slopes stay as fitted. Calibrating back to the
+// training pair restores the original constants exactly. The swap is
+// atomic with respect to concurrent Estimate calls — each in-flight
+// Estimate finishes against the model set it started with.
+func (e *Estimator) Calibrate(pair string) error {
+	src, dst, err := hw.Pair(pair)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delta := src.IdlePower() - e.trainSrc.IdlePower()
+	// Copy-on-calibrate: the fitted base models are never mutated, so
+	// snapshots taken by concurrent Estimate calls stay valid.
+	e.live = e.baseLive.WithBiasShift(delta)
+	e.nonlive = e.baseNonlive.WithBiasShift(delta)
+	e.pair, e.src, e.dst = pair, src, dst
+	return nil
+}
 
 // Estimate predicts the migration energy of a plan by synthesising the
 // phase timeline the plan implies — initiation, a transfer whose length
@@ -181,9 +261,10 @@ func (e *Estimator) Estimate(p Plan) (Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return out, err
 	}
-	model := e.nonlive
+	f := e.snapshot()
+	model := f.nonlive
 	if p.Kind == Live {
-		model = e.live
+		model = f.live
 	}
 
 	// Transfer volume: non-live moves the image once; live pre-copy
@@ -203,13 +284,13 @@ func (e *Estimator) Estimate(p Plan) (Estimate, error) {
 	// contention on either endpoint, unless the caller pinned one.
 	bw := p.BandwidthBitsPerSec
 	if bw == 0 {
-		srcShare := helperShare(p.SourceBusyThreads+p.VMBusyVCPUs, float64(e.src.Threads))
-		dstShare := helperShare(p.TargetBusyThreads, float64(e.dst.Threads))
+		srcShare := helperShare(p.SourceBusyThreads+p.VMBusyVCPUs, float64(f.src.Threads))
+		dstShare := helperShare(p.TargetBusyThreads, float64(f.dst.Threads))
 		share := srcShare
 		if dstShare < share {
 			share = dstShare
 		}
-		bw = float64(e.src.MigrationRate) * share
+		bw = float64(f.src.MigrationRate) * share
 	}
 	transfer := time.Duration(bytes * 8 / bw * float64(time.Second))
 	init := migration.DefaultInitiationTime
@@ -220,9 +301,9 @@ func (e *Estimator) Estimate(p Plan) (Estimate, error) {
 	// Synthesise the observation timeline at the meter cadence and
 	// integrate per host.
 	for _, role := range core.Roles() {
-		obs := e.synthObs(p, role, init, transfer, activ, bw)
+		obs := f.synthObs(p, role, init, transfer, activ, bw)
 		rec := &core.RunRecord{
-			Pair: e.pair, Kind: p.Kind, Role: role, RunID: "estimate",
+			Pair: f.pair, Kind: p.Kind, Role: role, RunID: "estimate",
 			Obs:            obs,
 			MeasuredEnergy: 1, // unused by prediction; Validate needs > 0
 			VMMem:          units.Bytes(p.VMMemoryBytes),
@@ -253,7 +334,7 @@ func helperShare(busy, capacity float64) float64 {
 const migrationHelperDemand = float64(1.35) // xen.MigrationCPUDemand
 
 // synthObs builds the plan's feature timeline for one role.
-func (e *Estimator) synthObs(p Plan, role core.Role, init, transfer, activ time.Duration, bw float64) []trace.Observation {
+func (f fitted) synthObs(p Plan, role core.Role, init, transfer, activ time.Duration, bw float64) []trace.Observation {
 	const step = 500 * time.Millisecond
 	var obs []trace.Observation
 	hostBusy := p.SourceBusyThreads
@@ -288,9 +369,9 @@ func (e *Estimator) synthObs(p Plan, role core.Role, init, transfer, activ time.
 			o.HostCPU = units.Utilisation(hcpu)
 		}
 		// Clamp to physical capacity (multiplexing).
-		cap := units.Utilisation(e.src.Threads)
+		cap := units.Utilisation(f.src.Threads)
 		if role == core.Target {
-			cap = units.Utilisation(e.dst.Threads)
+			cap = units.Utilisation(f.dst.Threads)
 		}
 		o.HostCPU = o.HostCPU.Clamp(cap)
 		obs = append(obs, o)
@@ -353,9 +434,18 @@ type Scenario = sim.Scenario
 func Simulate(sc Scenario) (*SimulationResult, error) { return sim.Run(sc) }
 
 // SimulateRepeated repeats a scenario until the paper's variance rule
-// holds (≥ minRuns runs, variance change < tol).
+// holds (≥ minRuns runs, variance change < tol). Repeats fan out across
+// all CPUs; the returned run sequence is bit-identical to a sequential
+// execution because run seeds derive from the run index alone and the
+// variance rule is applied to run prefixes in index order.
 func SimulateRepeated(sc Scenario, minRuns int, tol float64) ([]*SimulationResult, error) {
 	return sim.RunRepeated(sc, minRuns, tol)
+}
+
+// SimulateRepeatedWorkers is SimulateRepeated with an explicit worker
+// budget (<= 0 means runtime.NumCPU(), 1 forces sequential execution).
+func SimulateRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*SimulationResult, error) {
+	return sim.RunRepeatedWorkers(sc, minRuns, tol, workers)
 }
 
 // TrainBaselines gives example programs access to baseline models trained
@@ -378,5 +468,5 @@ func (e *Estimator) TrainBaselines() (core.EnergyModel, core.EnergyModel, core.E
 
 // String describes the estimator.
 func (e *Estimator) String() string {
-	return fmt.Sprintf("wavm3.Estimator(pair=%s)", e.pair)
+	return fmt.Sprintf("wavm3.Estimator(pair=%s)", e.Pair())
 }
