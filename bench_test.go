@@ -261,6 +261,46 @@ func BenchmarkCampaignSequential(b *testing.B) { benchCampaignWorkers(b, 1) }
 // BenchmarkCampaignParallel fans points and repeated runs across all CPUs.
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaignWorkers(b, 0) }
 
+// BenchmarkCampaignParallelCached is BenchmarkCampaignParallel with a
+// fresh run cache per iteration: it adds the within-campaign overlap
+// (families share their zero-load baseline points) on top of the kernel
+// speed, without letting iterations feed each other.
+func BenchmarkCampaignParallelCached(b *testing.B) {
+	cfg := benchConfig(hw.PairM, 31)
+	cfg.Workers = 0
+	for i := 0; i < b.N; i++ {
+		cfg.Cache = sim.NewCache(0)
+		_, err := experiments.RunCampaign(cfg,
+			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionWarmCache measures the wavm3bench session shape: the
+// figure family campaigns followed by the table campaign over the same
+// three families, all sharing one cache — the second pass answers
+// entirely from memory, which is the cross-campaign win the run cache
+// exists for.
+func BenchmarkSessionWarmCache(b *testing.B) {
+	families := []experiments.Family{
+		experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM}
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(hw.PairM, 31)
+		cfg.Cache = sim.NewCache(0)
+		for _, fam := range families { // the figure pass
+			if _, err := experiments.RunFamily(cfg, fam); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// The table pass re-runs the same families through RunCampaign.
+		if _, err := experiments.RunCampaign(cfg, families...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchRepeatedWorkers isolates the repeated-run driver: one scenario run
 // to the paper's ≥10-repeat rule, sequentially vs across all CPUs.
 func benchRepeatedWorkers(b *testing.B, workers int) {

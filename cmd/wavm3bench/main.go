@@ -3,11 +3,17 @@
 // family) and Tables III–VII (coefficients, NRMSE and the four-model
 // comparison).
 //
+// All campaigns share one run cache: the table campaigns re-run the same
+// families as Figures 3–5, and every family revisits the zero-load
+// baseline, so each distinct (scenario, seed) block simulates exactly
+// once per session. Cached results are bit-identical to fresh runs.
+//
 // Usage:
 //
-//	wavm3bench                 # everything, paper-scale sweeps (minutes)
-//	wavm3bench -quick          # everything, reduced sweeps (tens of seconds)
-//	wavm3bench -only table7    # one artefact: fig2..fig7, table3..table7
+//	wavm3bench                      # everything, paper-scale sweeps (minutes)
+//	wavm3bench -quick               # everything, reduced sweeps (tens of seconds)
+//	wavm3bench -only table7         # one artefact: fig2..fig7, table3..table7
+//	wavm3bench -benchjson perf.json # also write machine-readable timings
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/migration"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -30,10 +37,12 @@ var artefactOrder = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ta
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "reduced sweeps and repeats")
-		only    = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
+		quick     = flag.Bool("quick", false, "reduced sweeps and repeats")
+		only      = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		workers   = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
+		benchjson = flag.String("benchjson", "", "write machine-readable timing and cache metrics to this path")
+		nocache   = flag.Bool("nocache", false, "disable the cross-campaign run cache (results identical, only slower)")
 	)
 	flag.Parse()
 
@@ -49,12 +58,18 @@ func main() {
 		}
 	}
 
+	var cache *sim.Cache
+	if !*nocache {
+		cache = sim.NewCache(0)
+	}
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
 	mcfg.Workers = *workers
+	mcfg.Cache = cache
 	ocfg := experiments.DefaultConfig(hw.PairO)
 	ocfg.Seed = *seed + 1000
 	ocfg.Workers = *workers
+	ocfg.Cache = cache
 	if *quick {
 		for _, c := range []*experiments.Config{&mcfg, &ocfg} {
 			c.MinRuns = 2
@@ -64,10 +79,19 @@ func main() {
 		}
 	}
 
+	perf := report.NewBenchReport("wavm3bench")
+	perf.Quick = *quick
+	perf.Seed = *seed
+	perf.Workers = *workers
 	started := time.Now()
+	timed := func(id string, f func()) {
+		t0 := time.Now()
+		f()
+		perf.Add(id, time.Since(t0))
+	}
 
-	// Figures come straight from family campaigns; remember the results so
-	// the table suite can reuse the m-pair data.
+	// Figures come straight from family campaigns; the shared cache lets
+	// the table suite reuse the m-pair family runs below.
 	famFor := map[string]experiments.Family{
 		"fig3": experiments.CPULoadSource,
 		"fig4": experiments.CPULoadTarget,
@@ -77,104 +101,145 @@ func main() {
 	}
 
 	if want["fig2"] {
-		fig, err := experiments.Figure2(mcfg)
-		if err != nil {
-			fatal(err)
-		}
-		emit(fig)
+		timed("fig2", func() {
+			fig, err := experiments.Figure2(mcfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(fig)
+		})
 	}
 	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7"} {
 		if !want[id] {
 			continue
 		}
-		prs, err := experiments.RunFamily(mcfg, famFor[id])
-		if err != nil {
-			fatal(err)
-		}
-		fig, err := experiments.FamilyFigure(famFor[id], prs)
-		if err != nil {
-			fatal(err)
-		}
-		emit(fig)
+		timed(id, func() {
+			prs, err := experiments.RunFamily(mcfg, famFor[id])
+			if err != nil {
+				fatal(err)
+			}
+			fig, err := experiments.FamilyFigure(famFor[id], prs)
+			if err != nil {
+				fatal(err)
+			}
+			emit(fig)
+		})
 	}
 
 	needTables := want["table3"] || want["table4"] || want["table5"] || want["table6"] ||
 		want["table7"] || want["ablation"] || want["xval"]
 	if needTables {
 		fmt.Fprintln(os.Stderr, "wavm3bench: running model campaigns on both machine pairs...")
-		mCamp, err := experiments.RunCampaign(mcfg,
-			experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
-		if err != nil {
-			fatal(err)
-		}
-		var oCamp *experiments.Campaign
-		if want["table5"] {
-			oCamp, err = experiments.RunCampaign(ocfg,
+		var (
+			mCamp, oCamp *experiments.Campaign
+			suite        *experiments.Suite
+			err          error
+		)
+		timed("campaign-m", func() {
+			mCamp, err = experiments.RunCampaign(mcfg,
 				experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
 			if err != nil {
 				fatal(err)
 			}
+		})
+		if want["table5"] {
+			timed("campaign-o", func() {
+				oCamp, err = experiments.RunCampaign(ocfg,
+					experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
+				if err != nil {
+					fatal(err)
+				}
+			})
 		}
-		suite, err := experiments.BuildSuite(mCamp, oCamp)
-		if err != nil {
-			fatal(err)
-		}
-		if want["table3"] {
-			ct, err := suite.CoefficientTable(migration.NonLive)
+		timed("training", func() {
+			suite, err = experiments.BuildSuite(mCamp, oCamp)
 			if err != nil {
 				fatal(err)
 			}
-			writeTable(report.CoeffTable(ct))
+		})
+		if want["table3"] {
+			timed("table3", func() {
+				ct, err := suite.CoefficientTable(migration.NonLive)
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.CoeffTable(ct))
+			})
 		}
 		if want["table4"] {
-			ct, err := suite.CoefficientTable(migration.Live)
-			if err != nil {
-				fatal(err)
-			}
-			writeTable(report.CoeffTable(ct))
+			timed("table4", func() {
+				ct, err := suite.CoefficientTable(migration.Live)
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.CoeffTable(ct))
+			})
 		}
 		if want["table5"] {
-			t5, err := suite.Table5()
-			if err != nil {
-				fatal(err)
-			}
-			writeTable(report.NRMSETable(t5))
+			timed("table5", func() {
+				t5, err := suite.Table5()
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.NRMSETable(t5))
+			})
 		}
 		if want["table6"] {
-			t6, err := suite.Table6()
-			if err != nil {
-				fatal(err)
-			}
-			writeTable(report.BaselineTable(t6))
+			timed("table6", func() {
+				t6, err := suite.Table6()
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.BaselineTable(t6))
+			})
 		}
 		if want["table7"] {
-			t7, err := suite.Table7()
-			if err != nil {
-				fatal(err)
-			}
-			writeTable(report.ComparisonTable(t7))
+			timed("table7", func() {
+				t7, err := suite.Table7()
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.ComparisonTable(t7))
+			})
 		}
 		if want["ablation"] {
-			abs, err := experiments.AblateLive(suite)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println("Feature ablation (live migration, NRMSE on test split):")
-			for _, a := range abs {
-				fmt.Printf("  %-12s source %6.2f%%  target %6.2f%%\n", a.Variant,
-					a.NRMSE[core.Source]*100, a.NRMSE[core.Target]*100)
-			}
-			fmt.Println()
+			timed("ablation", func() {
+				abs, err := experiments.AblateLive(suite)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println("Feature ablation (live migration, NRMSE on test split):")
+				for _, a := range abs {
+					fmt.Printf("  %-12s source %6.2f%%  target %6.2f%%\n", a.Variant,
+						a.NRMSE[core.Source]*100, a.NRMSE[core.Target]*100)
+				}
+				fmt.Println()
+			})
 		}
 		if want["xval"] {
-			cv, err := suite.CrossValidateLive(4)
-			if err != nil {
-				fatal(err)
-			}
-			writeTable(report.CrossValTable(cv))
+			timed("xval", func() {
+				cv, err := suite.CrossValidateLive(4)
+				if err != nil {
+					fatal(err)
+				}
+				writeTable(report.CrossValTable(cv))
+			})
 		}
 	}
 
+	perf.TotalSeconds = time.Since(started).Seconds()
+	perf.CacheHits, perf.CacheMisses = cache.Stats()
+	perf.CacheEntries = cache.Len()
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "wavm3bench: run cache: %d hits, %d misses, %d entries\n",
+			perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
+	}
+	if *benchjson != "" {
+		if err := perf.WriteJSONFile(*benchjson); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wavm3bench: wrote timing metrics to %s\n", *benchjson)
+	}
 	fmt.Fprintf(os.Stderr, "wavm3bench: done in %v\n", time.Since(started).Round(time.Second))
 }
 

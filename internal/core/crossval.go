@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/migration"
 	"repro/internal/stats"
@@ -40,28 +41,38 @@ func CrossValidate(ds *Dataset, kind migration.Kind, k int, seed int64) (*CVResu
 	out := &CVResult{Kind: kind, Folds: k, PerRole: make(map[Role][]float64)}
 
 	// Stratified fold assignment: shuffle each (role, scenario) group and
-	// deal its runs round-robin into folds.
+	// deal its runs round-robin into folds. Groups are processed in sorted
+	// key order and fold datasets assembled in dataset row order — fold
+	// membership and training row order must derive from the seed and the
+	// data alone, never from Go's randomised map iteration, or repeated
+	// cross-validations of one dataset disagree in the last digits.
 	foldOf := make(map[*RunRecord]int)
 	groups := make(map[string][]*RunRecord)
+	var keys []string
+	var inKind []*RunRecord
 	for _, r := range ds.Runs {
 		if r.Kind != kind {
 			continue
 		}
+		inKind = append(inKind, r)
 		key := fmt.Sprintf("%v|%s", r.Role, r.Scenario)
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
 		groups[key] = append(groups[key], r)
 	}
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("core: no %v records to cross-validate", kind)
 	}
-	gi := 0
-	for _, recs := range groups {
+	sort.Strings(keys)
+	for gi, key := range keys {
+		recs := groups[key]
 		folds, err := stats.KFold(len(recs), min(k, len(recs)), seed+int64(gi))
 		if err != nil {
 			// Groups smaller than k rotate through folds deterministically.
 			for i, r := range recs {
 				foldOf[r] = i % k
 			}
-			gi++
 			continue
 		}
 		for fi, fold := range folds {
@@ -69,13 +80,12 @@ func CrossValidate(ds *Dataset, kind migration.Kind, k int, seed int64) (*CVResu
 				foldOf[recs[idx]] = fi
 			}
 		}
-		gi++
 	}
 
 	for fold := 0; fold < k; fold++ {
 		train, test := &Dataset{}, &Dataset{}
-		for r, f := range foldOf {
-			if f == fold {
+		for _, r := range inKind {
+			if foldOf[r] == fold {
 				test.Runs = append(test.Runs, r)
 			} else {
 				train.Runs = append(train.Runs, r)

@@ -57,6 +57,11 @@ type Executor struct {
 	// move's seed derives from its plan index, so the report is
 	// bit-identical for every worker count.
 	Workers int
+	// Cache optionally memoizes move simulations (see sim.NewCache):
+	// consolidation loops re-evaluate many identical moves across
+	// candidate plans. nil runs uncached; cached results are
+	// bit-identical.
+	Cache *sim.Cache
 }
 
 // scenarioFor translates one move into a testbed scenario: the moved VM's
@@ -147,7 +152,7 @@ func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []c
 	// self-contained and seeded from its plan index, so fan-out order
 	// cannot affect the measurements.
 	runs, err := parallel.Map(e.Workers, len(scenarios), func(i int) (*sim.RunResult, error) {
-		run, err := sim.Run(scenarios[i])
+		run, err := e.Cache.Run(scenarios[i])
 		if err != nil {
 			return nil, fmt.Errorf("dcsim: executing move %d (%s): %w", i, scenarios[i].Name, err)
 		}

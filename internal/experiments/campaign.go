@@ -46,7 +46,7 @@ func RunFamily(cfg Config, f Family) ([]*PointResult, error) {
 			return nil, err
 		}
 		sc = shrinkTimings(sc)
-		runs, err := sim.RunRepeatedWorkers(sc, cfg.MinRuns, cfg.VarianceTol, runWorkers)
+		runs, err := cfg.Cache.RunRepeatedWorkers(sc, cfg.MinRuns, cfg.VarianceTol, runWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s point %s: %w", f, p.Label(), err)
 		}

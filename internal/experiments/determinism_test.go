@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/migration"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -81,6 +82,58 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(mSeq.Coeffs, mPar.Coeffs) {
 			t.Errorf("%v PhaseCoeffs differ between Workers=1 and Workers=8:\nseq: %+v\npar: %+v",
 				kind, mSeq.Coeffs, mPar.Coeffs)
+		}
+	}
+}
+
+// TestCampaignDeterministicCacheOnOff is the run cache's regression
+// guarantee, the cache-flavoured sibling of the workers test above: the
+// same campaign with the cache off and with a shared cache (sequentially
+// and with a wide pool, so singleflight paths are exercised) must produce
+// bit-identical datasets row for row.
+func TestCampaignDeterministicCacheOnOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign integration test")
+	}
+	cfg := Config{
+		Pair:        hw.PairM,
+		MinRuns:     2,
+		VarianceTol: 0.9,
+		Seed:        43,
+		LoadLevels:  []int{0, 8},
+		DirtyLevels: []units.Fraction{0.05, 0.95},
+	}
+	// Both CPULOAD families: their zero-load points are physically
+	// identical across families, so the cached run must actually hit.
+	families := []Family{CPULoadSource, CPULoadTarget}
+
+	uncached := cfg
+	uncached.Workers = 1
+	campOff, err := RunCampaign(uncached, families...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		cached := cfg
+		cached.Workers = workers
+		cached.Cache = sim.NewCache(0)
+		campOn, err := RunCampaign(cached, families...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits, misses := cached.Cache.Stats()
+		if hits == 0 {
+			t.Errorf("workers=%d: overlapping families produced no cache hits (%d misses)", workers, misses)
+		}
+		if got, want := campOn.Dataset.Len(), campOff.Dataset.Len(); got != want {
+			t.Fatalf("workers=%d: cached dataset has %d rows, uncached %d", workers, got, want)
+		}
+		for i := range campOff.Dataset.Runs {
+			off, on := campOff.Dataset.Runs[i], campOn.Dataset.Runs[i]
+			if !reflect.DeepEqual(off, on) {
+				t.Fatalf("workers=%d row %d (%s): records differ between cache off and on", workers, i, off.RunID)
+			}
 		}
 	}
 }

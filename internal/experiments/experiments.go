@@ -153,6 +153,12 @@ type Config struct {
 	// strictly sequential runner. Results are bit-identical for every
 	// value — per-point seeds derive from the point index alone.
 	Workers int
+	// Cache optionally memoizes runs across families and campaigns (see
+	// sim.NewCache). Families share points — every family revisits the
+	// zero-load baseline, and suite campaigns overlap figure campaigns —
+	// and a shared cache simulates each distinct (scenario, seed) block
+	// once. nil runs uncached; cached results are bit-identical.
+	Cache *sim.Cache
 }
 
 // DefaultConfig is the paper-faithful campaign configuration.

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/migration"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -93,7 +92,7 @@ func Figure2(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		sc = shrinkTimings(sc)
-		run, err := sim.Run(sc)
+		run, err := cfg.Cache.Run(sc)
 		if err != nil {
 			return nil, err
 		}

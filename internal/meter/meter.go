@@ -39,24 +39,40 @@ const (
 type Meter struct {
 	// Period is the sampling interval.
 	Period time.Duration
-	// Accuracy is the relative 1σ noise amplitude.
+	// Accuracy is the instrument's relative accuracy band — the 0.3%
+	// calibration envelope the stabilisation rule is phrased in. It does
+	// not drive the sample jitter; that is NoiseSigma.
 	Accuracy float64
+	// NoiseSigma is the relative 1σ sample-to-sample reading jitter.
+	NoiseSigma float64
 
 	rng  *rand.Rand
 	tr   *trace.PowerTrace
 	next time.Duration
 }
 
-// New builds a meter for a host with the paper's default period and
-// accuracy. The seed pins the noise sequence for reproducible runs.
+// New builds a meter for a host with the paper's default period, accuracy
+// band and reading jitter. The seed pins the noise sequence for
+// reproducible runs.
 func New(host string, seed int64) *Meter {
 	return &Meter{
-		Period:   DefaultPeriod,
-		Accuracy: DefaultNoiseSigma,
-		rng:      rand.New(rand.NewSource(seed)),
-		tr:       &trace.PowerTrace{Host: host},
+		Period:     DefaultPeriod,
+		Accuracy:   DefaultAccuracy,
+		NoiseSigma: DefaultNoiseSigma,
+		rng:        rand.New(rand.NewSource(seed)),
+		tr:         &trace.PowerTrace{Host: host},
 	}
 }
+
+// Reserve pre-sizes the meter's trace for about n samples so the
+// simulation step loop appends without regrowing.
+func (m *Meter) Reserve(n int) { m.tr.Reserve(n) }
+
+// NextDue returns the simulation time at which the meter will record its
+// next sample. Observe calls before that instant are discarded, so the
+// simulation kernel consults NextDue to skip both the call and the
+// ground-truth power evaluation feeding it between due times.
+func (m *Meter) NextDue() time.Duration { return m.next }
 
 // Observe offers the meter the true instantaneous power at simulation time
 // now. The meter records a noisy sample whenever its sampling period has
@@ -67,7 +83,7 @@ func (m *Meter) Observe(now time.Duration, truth units.Watts) (units.Watts, bool
 	if now < m.next {
 		return 0, false
 	}
-	noisy := float64(truth) * (1 + m.rng.NormFloat64()*m.Accuracy)
+	noisy := float64(truth) * (1 + m.rng.NormFloat64()*m.NoiseSigma)
 	if noisy < 0 {
 		noisy = 0
 	}

@@ -320,7 +320,12 @@ func (e *Engine) endRound(now time.Duration) (phaseChanged bool, err error) {
 	budget := units.Bytes(float64(memBytes) * e.cfg.MaxDataFactor)
 
 	converged := dirt <= e.cfg.StopThreshold
-	exhausted := e.round >= e.cfg.MaxRounds || e.bytesSent >= budget
+	// The data valve is checked pre-flight: another pre-copy round would
+	// resend the current dirty set, so give up as soon as that would push
+	// the total past the budget. This bounds what gets sent (≤ budget plus
+	// one stop-and-copy) instead of only noticing the overshoot afterwards.
+	exhausted := e.round >= e.cfg.MaxRounds || e.bytesSent >= budget ||
+		e.bytesSent+dirt.Bytes() > budget
 	// No-progress check: if a round ends with at least as many dirty pages
 	// as it started with, the workload dirties faster than the link drains
 	// and iterating further is pointless (the high-DR regime of Figures 6

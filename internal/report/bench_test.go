@@ -1,0 +1,68 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := NewBenchReport("wavm3bench")
+	r.Quick = true
+	r.Seed = 7
+	r.Workers = 2
+	r.Add("fig2", 1500*time.Millisecond)
+	r.Add("table7", 250*time.Millisecond)
+	r.CacheHits, r.CacheMisses, r.CacheEntries = 10, 4, 4
+	r.TotalSeconds = 2.5
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "wavm3bench" || !back.Quick || back.Seed != 7 || back.Workers != 2 {
+		t.Errorf("configuration fields lost: %+v", back)
+	}
+	if len(back.Artefacts) != 2 || back.Artefacts[0].ID != "fig2" || back.Artefacts[0].Seconds != 1.5 {
+		t.Errorf("artefact timings lost: %+v", back.Artefacts)
+	}
+	if back.CacheHits != 10 || back.CacheMisses != 4 || back.CacheEntries != 4 {
+		t.Errorf("cache stats lost: %+v", back)
+	}
+	if back.GoVersion == "" || back.NumCPU <= 0 {
+		t.Errorf("platform stamp missing: %+v", back)
+	}
+}
+
+func TestBenchReportJSONShape(t *testing.T) {
+	r := NewBenchReport("wavm3bench")
+	r.Add("fig3", time.Second)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"tool"`, `"go_version"`, `"artefacts"`, `"cache_hits"`, `"total_seconds"`} {
+		if !strings.Contains(b.String(), key) {
+			t.Errorf("JSON lacks %s:\n%s", key, b.String())
+		}
+	}
+}
+
+func TestReadBenchReportErrors(t *testing.T) {
+	if _, err := ReadBenchReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(bad); err == nil {
+		t.Error("malformed JSON did not error")
+	}
+}

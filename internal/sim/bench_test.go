@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/migration"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// benchScenario is a representative experimental point: the CPULOAD
+// matrixmult guest with one co-located load VM per host.
+func benchScenario(kind migration.Kind) Scenario {
+	return Scenario{
+		Name:          "bench",
+		Kind:          kind,
+		MigratingType: vm.TypeMigratingCPU,
+		SourceLoadVMs: 1,
+		TargetLoadVMs: 1,
+		Seed:          42,
+	}
+}
+
+func benchRun(b *testing.B, sc Scenario) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunNonLive measures one suspend-resume migration run.
+func BenchmarkSimRunNonLive(b *testing.B) {
+	benchRun(b, benchScenario(migration.NonLive))
+}
+
+// BenchmarkSimRunLive measures one pre-copy live migration run.
+func BenchmarkSimRunLive(b *testing.B) {
+	benchRun(b, benchScenario(migration.Live))
+}
+
+// BenchmarkSimRunLiveMem measures the memory-heavy MEMLOAD point: a
+// pagedirtier guest at a 95% target dirty ratio, the most expensive run
+// class of the campaigns.
+func BenchmarkSimRunLiveMem(b *testing.B) {
+	sc := Scenario{
+		Name:             "bench-mem",
+		Kind:             migration.Live,
+		MigratingType:    vm.TypeMigratingMem,
+		MigratingProfile: workload.PagedirtierProfile(0.95),
+		Seed:             42,
+	}
+	benchRun(b, sc)
+}

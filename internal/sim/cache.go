@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache memoizes completed runs across a whole campaign stack. Runs are
+// perfectly independent blocks keyed by their physical scenario and seed
+// (the Name label is excluded: two families asking for the same physics
+// under different labels share one simulation), so identical blocks are
+// computed exactly once and every later request is answered from memory.
+//
+// Lookups are singleflight: concurrent requests for the same key block on
+// the one in-flight simulation instead of duplicating it. Hits return a
+// shallow copy of the memoized RunResult with the caller's scenario label
+// restored — bit-identical to what an uncached Run would have produced —
+// sharing the underlying traces, which are treated as immutable by every
+// consumer. The cache is bounded (least-recently-used eviction) and
+// clearable so long benchmark sessions do not grow without limit.
+//
+// The zero value is not usable; construct with NewCache. A nil *Cache is
+// valid everywhere and degrades to uncached execution.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Scenario]*cacheEntry
+	lru     *list.List // of Scenario keys, front = most recent
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err are set
+	res  *RunResult
+	err  error
+	elem *list.Element
+}
+
+// DefaultCacheSize bounds a cache built with NewCache(0): generous enough
+// for the full two-pair evaluation suite (hundreds of distinct points ×
+// repeats) while keeping worst-case retention in the low gigabytes.
+const DefaultCacheSize = 1024
+
+// NewCache builds a run cache holding at most maxEntries completed runs
+// (<= 0 selects DefaultCacheSize).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Cache{
+		max:     maxEntries,
+		entries: make(map[Scenario]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// key canonicalises a scenario into its cache identity: defaults applied,
+// label stripped. Everything that influences the physics — pair, kind,
+// profiles, load counts, timing, migration config, seed — remains.
+func cacheKey(sc Scenario) Scenario {
+	k := sc.withDefaults()
+	k.Name = ""
+	return k
+}
+
+// Run answers a scenario from the cache, simulating it at most once per
+// key. A nil receiver runs uncached.
+func (c *Cache) Run(sc Scenario) (*RunResult, error) {
+	if c == nil {
+		return Run(sc)
+	}
+	key := cacheKey(sc)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.result(sc), nil
+	}
+	c.misses++
+	e := &cacheEntry{done: make(chan struct{})}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	res, err := Run(sc)
+	e.res, e.err = res, err
+	if err != nil {
+		// Failures are not memoized: drop the entry so a later identical
+		// request retries, then release the waiters.
+		c.mu.Lock()
+		c.removeLocked(key, e)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	if err != nil {
+		return nil, err
+	}
+	return e.result(sc), nil
+}
+
+// result adapts the memoized run to the requesting scenario: a shallow
+// copy sharing the immutable traces, with the caller's labelling restored
+// so cached and uncached call sites see bit-identical values.
+func (e *cacheEntry) result(sc Scenario) *RunResult {
+	out := *e.res
+	out.Scenario = sc.withDefaults()
+	return &out
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its bound. In-flight entries are skipped: their waiters hold the
+// entry regardless, so evicting them would only duplicate work.
+func (c *Cache) evictLocked() {
+	for back := c.lru.Back(); len(c.entries) > c.max && back != nil; {
+		key := back.Value.(Scenario)
+		prev := back.Prev()
+		e := c.entries[key]
+		select {
+		case <-e.done:
+			c.removeLocked(key, e)
+		default: // still simulating
+		}
+		back = prev
+	}
+}
+
+func (c *Cache) removeLocked(key Scenario, e *cacheEntry) {
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+		c.lru.Remove(e.elem)
+	}
+}
+
+// Len reports the number of cached (or in-flight) runs.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cumulative lookup hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear empties the cache, keeping its bound and statistics.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Scenario]*cacheEntry)
+	c.lru.Init()
+}

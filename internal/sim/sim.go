@@ -176,10 +176,26 @@ func Run(sc Scenario) (*RunResult, error) {
 	srcFeat := &trace.FeatureTrace{Host: srcSpec.Name}
 	dstFeat := &trace.FeatureTrace{Host: dstSpec.Name}
 
+	// Pre-size the traces from the scenario's span: the pre/post windows
+	// are known exactly and the transfer length is bounded by the data
+	// valve over the migration rate, so Append never regrows mid-run.
+	expected := expectedSteps(sc, srcSpec)
+	srcFeat.Reserve(expected)
+	dstFeat.Reserve(expected)
+	meterSamples := expected/int(meter.DefaultPeriod/Step) + 2
+	srcMeter.Reserve(meterSamples)
+	dstMeter.Reserve(meterSamples)
+
 	res := &RunResult{
 		Scenario:       sc,
 		SourceFeatures: srcFeat, TargetFeatures: dstFeat,
 	}
+
+	// The migrating guest's slot on the source is fixed for the whole run;
+	// its target-side slot exists only once the engine has moved it (the
+	// activation handover), so it resolves lazily below.
+	guestSrcSlot, _ := src.GuestIndex(guest.Name)
+	guestDstSlot := -1
 
 	now := time.Duration(0)
 	started := false
@@ -211,22 +227,32 @@ func Run(sc Scenario) (*RunResult, error) {
 			copyPagesPerSec = float64(rep.BytesMoved) / float64(units.PageSize) / Step.Seconds()
 		}
 		netFrac := link.LineFraction(rep.Bandwidth)
-		srcLoad := src.Load(sa, float64(srcEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
-		dstLoad := dst.Load(da, float64(dstEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
 
-		// 5. Meters sample the ground truth.
-		srcMeter.Observe(now, srcSpec.TruePower(srcLoad))
-		dstMeter.Observe(now, dstSpec.TruePower(dstLoad))
+		// 5. Meters sample the ground truth. A meter only records every
+		// fifth step (2 Hz against the 100 ms step), so the load assembly
+		// and the TruePower evaluation are skipped between due times.
+		if now >= srcMeter.NextDue() {
+			srcLoad := src.Load(sa, float64(srcEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
+			srcMeter.Observe(now, srcSpec.TruePower(srcLoad))
+		}
+		if now >= dstMeter.NextDue() {
+			dstLoad := dst.Load(da, float64(dstEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
+			dstMeter.Observe(now, dstSpec.TruePower(dstLoad))
+		}
 
 		// 6. Feature traces record what dstat + the hypervisor would see,
 		// at the same instants the meters sample.
 		guestHost := src
-		guestAlloc := sa
-		if _, onDst := dst.Guest(guest.Name); onDst {
-			guestHost = dst
-			guestAlloc = da
+		vmCPU := sa.Guest(guestSrcSlot)
+		if guestDstSlot < 0 {
+			if slot, onDst := dst.GuestIndex(guest.Name); onDst {
+				guestDstSlot = slot
+			}
 		}
-		vmCPU := guestAlloc.Guests[guest.Name]
+		if guestDstSlot >= 0 {
+			guestHost = dst
+			vmCPU = da.Guest(guestDstSlot)
+		}
 		dr := guest.DirtyRatio()
 		fsrc := trace.FeatureSample{
 			At: now, HostCPU: sa.HostCPU(), Bandwidth: rep.Bandwidth,
@@ -295,6 +321,26 @@ func Run(sc Scenario) (*RunResult, error) {
 	return res, nil
 }
 
+// expectedSteps bounds the number of 100 ms steps a scenario can take:
+// the exact pre/post windows plus a transfer span derived from the data
+// valve (MaxDataFactor × VM memory) over the pair's migration rate, with
+// slack for initiation, activation and scheduling-induced slowdown. Used
+// to pre-size trace capacity; underestimates only cost a regrow.
+func expectedSteps(sc Scenario, spec hw.MachineSpec) int {
+	span := sc.PreMigration + sc.PostMigration
+	typ, err := vm.Lookup(sc.MigratingType)
+	if err == nil && spec.MigrationRate > 0 {
+		factor := sc.Migration.MaxDataFactor
+		if factor <= 0 {
+			factor = migration.DefaultMaxDataFactor
+		}
+		bits := float64(typ.RAM) * 8 * factor
+		transfer := time.Duration(bits / float64(spec.MigrationRate) * float64(time.Second))
+		span += 2*transfer + 30*time.Second
+	}
+	return int(span/Step) + 2
+}
+
 // RunRepeated executes a scenario until the paper's variance-convergence
 // rule holds on the total source-side migration energy: at least minRuns
 // runs, and the variance change from adding the latest run below tol.
@@ -310,22 +356,37 @@ func RunRepeated(sc Scenario, minRuns int, tol float64) ([]*RunResult, error) {
 // every worker count returns the bit-identical run sequence; workers only
 // changes how many speculative runs execute concurrently.
 func RunRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
+	return runRepeated(nil, sc, minRuns, tol, workers)
+}
+
+// RunRepeatedWorkers is the cache-aware variant of the package function:
+// identical semantics, with each run answered through the cache. A nil
+// receiver degrades to uncached execution.
+func (c *Cache) RunRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
+	return runRepeated(c, sc, minRuns, tol, workers)
+}
+
+func runRepeated(c *Cache, sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
 	if minRuns < 2 {
 		return nil, errors.New("sim: need at least two runs")
 	}
 	const maxRuns = 50
+	// The convergence rule inspects growing prefixes in index order
+	// (parallel.Until's contract), so the per-run energies accumulate
+	// incrementally instead of being rebuilt from the whole prefix on
+	// every check — the check stays O(new runs), not O(prefix²).
+	energies := make([]float64, 0, maxRuns)
 	// minRuns is the first-batch hint: convergence cannot fire earlier, so
 	// speculating past it before the first variance check is pure waste.
 	return parallel.Until(workers, maxRuns, minRuns,
 		func(i int) (*RunResult, error) {
 			run := sc
 			run.Seed = sc.Seed + int64(i)*1009
-			return Run(run)
+			return c.Run(run)
 		},
 		func(prefix []*RunResult) bool {
-			energies := make([]float64, len(prefix))
-			for i, r := range prefix {
-				energies[i] = float64(r.SourceEnergy.Total())
+			for i := len(energies); i < len(prefix); i++ {
+				energies = append(energies, float64(prefix[i].SourceEnergy.Total()))
 			}
 			return stats.VarianceConverged(energies, minRuns, tol)
 		})

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// boundaryTrace is a 2 Hz trace over [1s, 5s] with distinct powers so a
+// mis-clipped segment is visible in the integral.
+func boundaryTrace(t *testing.T) *PowerTrace {
+	t.Helper()
+	p := &PowerTrace{Host: "m01"}
+	for i := 0; i <= 8; i++ {
+		at := 1*time.Second + time.Duration(i)*500*time.Millisecond
+		if err := p.Append(at, units.Watts(100+10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// sliceNaive is the pre-binary-search reference implementation of Slice.
+func sliceNaive(p *PowerTrace, from, to time.Duration) *PowerTrace {
+	out := &PowerTrace{Host: p.Host}
+	for _, s := range p.Samples {
+		if s.At >= from && s.At <= to {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// energyNaive is the pre-binary-search reference implementation of
+// EnergyBetween: a full linear scan with identical clipping arithmetic.
+func energyNaive(p *PowerTrace, from, to time.Duration) units.Joules {
+	n := len(p.Samples)
+	if n < 2 || to <= from {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n-1; i++ {
+		a, b := p.Samples[i], p.Samples[i+1]
+		lo, hi := a.At, b.At
+		if hi <= from || lo >= to || hi == lo {
+			continue
+		}
+		clipLo, clipHi := lo, hi
+		pLo, pHi := float64(a.Power), float64(b.Power)
+		if clipLo < from {
+			frac := float64(from-lo) / float64(hi-lo)
+			pLo = float64(a.Power) + frac*(float64(b.Power)-float64(a.Power))
+			clipLo = from
+		}
+		if clipHi > to {
+			frac := float64(to-lo) / float64(hi-lo)
+			pHi = float64(a.Power) + frac*(float64(b.Power)-float64(a.Power))
+			clipHi = to
+		}
+		dt := clipHi - clipLo
+		total += (pLo + pHi) / 2 * dt.Seconds()
+	}
+	return units.Joules(total)
+}
+
+// boundaryWindows are the clipping cases the binary-search rewrite must
+// preserve: boundaries exactly on samples, between samples, and partly or
+// fully outside the trace span.
+func boundaryWindows() [][2]time.Duration {
+	s := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	return [][2]time.Duration{
+		{s(1), s(5)},        // whole span, boundaries on first/last sample
+		{s(2), s(3.5)},      // both boundaries exactly on interior samples
+		{s(2.25), s(3.75)},  // both boundaries between samples
+		{s(1), s(1.5)},      // first segment only
+		{s(4.5), s(5)},      // last segment only
+		{s(0), s(10)},       // window straddles the whole trace
+		{s(0), s(0.5)},      // entirely before the trace
+		{s(6), s(9)},        // entirely after the trace
+		{s(0.5), s(1.25)},   // clips into the first segment
+		{s(4.75), s(7)},     // clips out of the last segment
+		{s(3), s(3)},        // empty window on a sample
+		{s(3.25), s(3.25)},  // empty window between samples
+		{s(4), s(2)},        // inverted window
+		{s(2.5), s(2.5001)}, // sliver inside one segment
+	}
+}
+
+// TestSliceBoundaryClipping checks Slice against the linear reference on
+// every boundary case.
+func TestSliceBoundaryClipping(t *testing.T) {
+	p := boundaryTrace(t)
+	for _, w := range boundaryWindows() {
+		got := p.Slice(w[0], w[1])
+		want := sliceNaive(p, w[0], w[1])
+		if got.Host != want.Host || got.Len() != want.Len() {
+			t.Errorf("Slice(%v, %v) has %d samples, want %d", w[0], w[1], got.Len(), want.Len())
+			continue
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Errorf("Slice(%v, %v)[%d] = %+v, want %+v", w[0], w[1], i, got.Samples[i], want.Samples[i])
+			}
+		}
+	}
+}
+
+// TestSliceSharesNoStorage guards Slice's no-aliasing contract.
+func TestSliceSharesNoStorage(t *testing.T) {
+	p := boundaryTrace(t)
+	s := p.Slice(1*time.Second, 5*time.Second)
+	if s.Len() == 0 {
+		t.Fatal("empty slice")
+	}
+	s.Samples[0].Power = 9999
+	if p.Samples[0].Power == 9999 {
+		t.Error("Slice aliases the parent trace's storage")
+	}
+}
+
+// TestEnergyBetweenBoundaryClipping checks the binary-search integration
+// against the full-scan reference, bit for bit: the rewrite only skips
+// segments that contribute exactly zero, so even float rounding must
+// agree.
+func TestEnergyBetweenBoundaryClipping(t *testing.T) {
+	p := boundaryTrace(t)
+	for _, w := range boundaryWindows() {
+		got := p.EnergyBetween(w[0], w[1])
+		want := energyNaive(p, w[0], w[1])
+		if got != want {
+			t.Errorf("EnergyBetween(%v, %v) = %v, want %v (diff %g)",
+				w[0], w[1], got, want, math.Abs(float64(got-want)))
+		}
+	}
+}
+
+// TestEnergyBetweenDuplicateTimestamps covers zero-length segments (a
+// power step recorded as two samples at one instant), which the segment
+// scan must skip without dividing by zero.
+func TestEnergyBetweenDuplicateTimestamps(t *testing.T) {
+	p := &PowerTrace{Host: "m01"}
+	for _, s := range []struct {
+		at time.Duration
+		w  units.Watts
+	}{{0, 100}, {time.Second, 100}, {time.Second, 200}, {2 * time.Second, 200}} {
+		if err := p.Append(s.at, s.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range [][2]time.Duration{
+		{0, 2 * time.Second},
+		{500 * time.Millisecond, 1500 * time.Millisecond},
+		{time.Second, 2 * time.Second},
+		{0, time.Second},
+	} {
+		got, want := p.EnergyBetween(w[0], w[1]), energyNaive(p, w[0], w[1])
+		if got != want {
+			t.Errorf("EnergyBetween(%v, %v) = %v, want %v", w[0], w[1], got, want)
+		}
+	}
+}

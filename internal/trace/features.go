@@ -43,6 +43,17 @@ func (f *FeatureTrace) Append(s FeatureSample) error {
 // Len returns the number of samples.
 func (f *FeatureTrace) Len() int { return len(f.Samples) }
 
+// Reserve grows the sample capacity to at least n so subsequent Appends
+// do not regrow the backing array.
+func (f *FeatureTrace) Reserve(n int) {
+	if cap(f.Samples) >= n {
+		return
+	}
+	s := make([]FeatureSample, len(f.Samples), n)
+	copy(s, f.Samples)
+	f.Samples = s
+}
+
 // At returns the feature sample nearest to t (ties resolve to the earlier
 // sample). It errors on an empty trace.
 func (f *FeatureTrace) At(t time.Duration) (FeatureSample, error) {

@@ -42,6 +42,25 @@ func (p *PowerTrace) Append(at time.Duration, w units.Watts) error {
 // Len returns the number of samples.
 func (p *PowerTrace) Len() int { return len(p.Samples) }
 
+// Reserve grows the sample capacity to at least n so subsequent Appends
+// do not regrow the backing array. Callers that know the recording span
+// up front (the simulation kernel) use it to keep the step loop
+// allocation-free.
+func (p *PowerTrace) Reserve(n int) {
+	if cap(p.Samples) >= n {
+		return
+	}
+	s := make([]Sample, len(p.Samples), n)
+	copy(s, p.Samples)
+	p.Samples = s
+}
+
+// searchAt returns the index of the first sample with At >= t, relying on
+// the non-decreasing time order Append enforces.
+func (p *PowerTrace) searchAt(t time.Duration) int {
+	return sort.Search(len(p.Samples), func(i int) bool { return p.Samples[i].At >= t })
+}
+
 // Duration returns the time span covered by the trace.
 func (p *PowerTrace) Duration() time.Duration {
 	if len(p.Samples) == 0 {
@@ -51,13 +70,17 @@ func (p *PowerTrace) Duration() time.Duration {
 }
 
 // Slice returns the sub-trace with from ≤ t ≤ to. The boundary samples are
-// included when present; the result shares no storage with p.
+// included when present; the result shares no storage with p. The window
+// is located by binary search on the sorted-time invariant.
 func (p *PowerTrace) Slice(from, to time.Duration) *PowerTrace {
 	out := &PowerTrace{Host: p.Host}
-	for _, s := range p.Samples {
-		if s.At >= from && s.At <= to {
-			out.Samples = append(out.Samples, s)
-		}
+	if to < from {
+		return out
+	}
+	lo := p.searchAt(from) // first sample with At >= from
+	hi := lo + sort.Search(len(p.Samples)-lo, func(i int) bool { return p.Samples[lo+i].At > to })
+	if hi > lo {
+		out.Samples = append(out.Samples, p.Samples[lo:hi]...)
 	}
 	return out
 }
@@ -71,17 +94,30 @@ func (p *PowerTrace) Energy() units.Joules {
 
 // EnergyBetween integrates power over [from, to] ∩ [trace span], linearly
 // interpolating at the interval boundaries so that phase boundaries falling
-// between samples are handled exactly.
+// between samples are handled exactly. Only the segments overlapping the
+// window are visited: the first candidate is located by binary search and
+// the scan stops at the first segment starting at or past to, which turns
+// the per-phase integrations of EnergyByPhase from full-trace scans into
+// O(log n + window) work.
 func (p *PowerTrace) EnergyBetween(from, to time.Duration) units.Joules {
 	n := len(p.Samples)
 	if n < 2 || to <= from {
 		return 0
 	}
+	// First segment [i, i+1] that can overlap: the last one starting at or
+	// before from, i.e. one before the first sample with At > from.
+	start := sort.Search(n, func(i int) bool { return p.Samples[i].At > from }) - 1
+	if start < 0 {
+		start = 0
+	}
 	total := 0.0
-	for i := 0; i < n-1; i++ {
+	for i := start; i < n-1; i++ {
 		a, b := p.Samples[i], p.Samples[i+1]
 		lo, hi := a.At, b.At
-		if hi <= from || lo >= to || hi == lo {
+		if lo >= to {
+			break
+		}
+		if hi <= from || hi == lo {
 			continue
 		}
 		// Clip the segment to [from, to], interpolating power at the cuts.

@@ -38,7 +38,15 @@ const (
 type Host struct {
 	Spec hw.MachineSpec
 
-	guests map[string]*vm.VM
+	// guests holds the resident guests in dense, stable slots: a guest
+	// keeps its slot index from Attach until Detach, and freed slots are
+	// reused. Slot indices address Allocation.Guests directly, which is
+	// what keeps the scheduler's hot path free of map allocations.
+	guests []*vm.VM
+	// index resolves a guest name to its slot.
+	index map[string]int
+	// scratch is Schedule's reusable grant buffer (see Schedule).
+	scratch []units.Utilisation
 	// migActive marks an in-flight migration with this host as an endpoint.
 	migActive bool
 }
@@ -48,50 +56,80 @@ func NewHost(spec hw.MachineSpec) (*Host, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Host{Spec: spec, guests: make(map[string]*vm.VM)}, nil
+	return &Host{Spec: spec, index: make(map[string]int)}, nil
 }
 
-// Attach places a guest on this host. It enforces the memory constraint:
-// the sum of guest allocations plus dom-0's reservation must fit in RAM.
+// Attach places a guest on this host and assigns it a stable slot index.
+// It enforces the memory constraint: the sum of guest allocations plus
+// dom-0's reservation must fit in RAM.
 func (h *Host) Attach(v *vm.VM) error {
 	if v == nil {
 		return fmt.Errorf("xen: nil VM")
 	}
-	if _, dup := h.guests[v.Name]; dup {
+	if _, dup := h.index[v.Name]; dup {
 		return fmt.Errorf("xen: %s already has a guest named %q", h.Spec.Name, v.Name)
 	}
 	dom0 := vm.Types()[vm.TypeDom0].RAM
 	used := dom0 + v.Type.RAM
 	for _, g := range h.guests {
-		used += g.Type.RAM
+		if g != nil {
+			used += g.Type.RAM
+		}
 	}
 	if used > h.Spec.RAM {
 		return fmt.Errorf("xen: attaching %q would need %v of %v RAM on %s", v.Name, used, h.Spec.RAM, h.Spec.Name)
 	}
-	h.guests[v.Name] = v
+	slot := -1
+	for i, g := range h.guests {
+		if g == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(h.guests)
+		h.guests = append(h.guests, nil)
+	}
+	h.guests[slot] = v
+	h.index[v.Name] = slot
 	return nil
 }
 
-// Detach removes a guest (after migration or destruction).
+// Detach removes a guest (after migration or destruction). Its slot is
+// recycled for the next Attach.
 func (h *Host) Detach(name string) error {
-	if _, ok := h.guests[name]; !ok {
+	slot, ok := h.index[name]
+	if !ok {
 		return fmt.Errorf("xen: no guest %q on %s", name, h.Spec.Name)
 	}
-	delete(h.guests, name)
+	h.guests[slot] = nil
+	delete(h.index, name)
 	return nil
 }
 
 // Guest returns the named guest.
 func (h *Host) Guest(name string) (*vm.VM, bool) {
-	g, ok := h.guests[name]
-	return g, ok
+	slot, ok := h.index[name]
+	if !ok {
+		return nil, false
+	}
+	return h.guests[slot], true
+}
+
+// GuestIndex returns the slot index of the named guest, the key into
+// Allocation.Guests. Indices are stable between Attach and Detach.
+func (h *Host) GuestIndex(name string) (int, bool) {
+	slot, ok := h.index[name]
+	return slot, ok
 }
 
 // Guests returns all guests sorted by name (deterministic iteration).
 func (h *Host) Guests() []*vm.VM {
-	out := make([]*vm.VM, 0, len(h.guests))
+	out := make([]*vm.VM, 0, len(h.index))
 	for _, g := range h.guests {
-		out = append(out, g)
+		if g != nil {
+			out = append(out, g)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -108,7 +146,7 @@ func (h *Host) MigrationActive() bool { return h.migActive }
 func (h *Host) activeGuests() int {
 	n := 0
 	for _, g := range h.guests {
-		if g.Active() {
+		if g != nil && g.Active() {
 			n++
 		}
 	}
@@ -122,15 +160,22 @@ func (h *Host) VMMDemand() units.Utilisation {
 
 // Allocation is the outcome of one scheduling decision: how much CPU each
 // consumer actually received this instant.
+//
+// Guests is indexed by the host's guest slot (Host.GuestIndex), not by
+// name, and it aliases a scratch buffer owned by the host: the slice is
+// valid until the host's next Schedule call. Callers that need to retain
+// grants across scheduling decisions must copy them out.
 type Allocation struct {
 	// VMM is the CPU granted to the hypervisor/dom-0.
 	VMM units.Utilisation
-	// Guests maps guest name to granted CPU.
-	Guests map[string]units.Utilisation
+	// Guests holds the CPU granted per guest slot.
+	Guests []units.Utilisation
 	// Migration is the CPU granted to the migration helper.
 	Migration units.Utilisation
 	// Saturated reports whether demand exceeded capacity (multiplexing).
 	Saturated bool
+
+	host *Host
 }
 
 // HostCPU returns CPU(h,t) per Eq. 2: everything the host's threads are
@@ -143,13 +188,35 @@ func (a Allocation) HostCPU() units.Utilisation {
 	return total
 }
 
+// Guest returns the CPU granted to the guest in the given slot; out-of-
+// range slots (detached guests) read as zero.
+func (a Allocation) Guest(slot int) units.Utilisation {
+	if slot < 0 || slot >= len(a.Guests) {
+		return 0
+	}
+	return a.Guests[slot]
+}
+
+// GuestCPU returns the CPU granted to the named guest — the name-keyed
+// compatibility accessor over the slot-indexed grants.
+func (a Allocation) GuestCPU(name string) units.Utilisation {
+	if a.host == nil {
+		return 0
+	}
+	slot, ok := a.host.index[name]
+	if !ok {
+		return 0
+	}
+	return a.Guest(slot)
+}
+
 // GuestShare returns granted/demanded for a guest, the factor by which its
 // progress (and page dirtying) is slowed under multiplexing.
 func (a Allocation) GuestShare(name string, demanded units.Utilisation) float64 {
 	if demanded <= 0 {
 		return 1
 	}
-	return float64(a.Guests[name]) / float64(demanded)
+	return float64(a.GuestCPU(name)) / float64(demanded)
 }
 
 // MigrationShare returns granted/demanded for the migration helper; the
@@ -166,9 +233,20 @@ func (a Allocation) MigrationShare() float64 {
 // guests and the migration helper share the remainder proportionally to
 // demand when it does not fit — the proportional-share behaviour of the
 // credit scheduler with equal weights.
+//
+// The returned Allocation's Guests slice reuses a buffer owned by the
+// host, so the simulation step loop schedules without allocating; it is
+// valid until the next Schedule call on the same host.
 func (h *Host) Schedule() Allocation {
 	cap := h.Spec.Capacity()
-	alloc := Allocation{Guests: make(map[string]units.Utilisation, len(h.guests))}
+	if len(h.scratch) < len(h.guests) {
+		h.scratch = make([]units.Utilisation, len(h.guests))
+	}
+	grants := h.scratch[:len(h.guests)]
+	for i := range grants {
+		grants[i] = 0
+	}
+	alloc := Allocation{Guests: grants, host: h}
 
 	vmm := h.VMMDemand().Clamp(cap)
 	alloc.VMM = vmm
@@ -180,14 +258,18 @@ func (h *Host) Schedule() Allocation {
 	}
 	totalDemand := migDemand
 	for _, g := range h.guests {
-		totalDemand += g.Demand()
+		if g != nil {
+			totalDemand += g.Demand()
+		}
 	}
 	if totalDemand <= 0 {
 		return alloc
 	}
 	if totalDemand <= remaining {
-		for name, g := range h.guests {
-			alloc.Guests[name] = g.Demand()
+		for i, g := range h.guests {
+			if g != nil {
+				grants[i] = g.Demand()
+			}
 		}
 		alloc.Migration = migDemand
 		return alloc
@@ -195,8 +277,10 @@ func (h *Host) Schedule() Allocation {
 	// Oversubscribed: proportional scaling.
 	alloc.Saturated = true
 	scale := float64(remaining) / float64(totalDemand)
-	for name, g := range h.guests {
-		alloc.Guests[name] = units.Utilisation(float64(g.Demand()) * scale)
+	for i, g := range h.guests {
+		if g != nil {
+			grants[i] = units.Utilisation(float64(g.Demand()) * scale)
+		}
 	}
 	alloc.Migration = units.Utilisation(float64(migDemand) * scale)
 	return alloc
@@ -207,11 +291,15 @@ func (h *Host) Schedule() Allocation {
 // memory traffic for the power model).
 func (h *Host) Step(alloc Allocation, dtSeconds float64) int64 {
 	var events int64
-	for name, g := range h.guests {
-		if !g.Active() {
+	for i, g := range h.guests {
+		if g == nil || !g.Active() {
 			continue
 		}
-		events += g.StepMemory(dtSeconds, alloc.GuestShare(name, g.Demand()))
+		share := 1.0
+		if d := g.Demand(); d > 0 {
+			share = float64(alloc.Guest(i)) / float64(d)
+		}
+		events += g.StepMemory(dtSeconds, share)
 	}
 	return events
 }

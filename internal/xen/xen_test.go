@@ -120,7 +120,7 @@ func TestScheduleUndersubscribed(t *testing.T) {
 	if alloc.Saturated {
 		t.Error("6 demanded of 32 must not saturate")
 	}
-	if alloc.Guests["a"] != 4 || alloc.Guests["b"] != 2 {
+	if alloc.GuestCPU("a") != 4 || alloc.GuestCPU("b") != 2 {
 		t.Errorf("full grants expected, got %v", alloc.Guests)
 	}
 	wantHost := float64(h.VMMDemand()) + 6
@@ -151,7 +151,7 @@ func TestScheduleSaturatedMultiplexing(t *testing.T) {
 		t.Errorf("saturated HostCPU = %v, want capacity %v", alloc.HostCPU(), h.Spec.Capacity())
 	}
 	// Guests all get the same scaled share (equal weights).
-	a, b := alloc.Guests["a"], alloc.Guests["b"]
+	a, b := alloc.GuestCPU("a"), alloc.GuestCPU("b")
 	if math.Abs(float64(a-b)) > 1e-9 {
 		t.Errorf("equal demands got unequal grants: %v vs %v", a, b)
 	}
