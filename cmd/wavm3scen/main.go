@@ -1,0 +1,219 @@
+// Command wavm3scen runs declarative scenarios from the scenario library
+// (scenarios/*.json) on the simulated testbed: single migrations, phased
+// workload timelines (each phase an independently runnable block) and
+// data-centre plans executed move by move as measured migrations.
+//
+// Output on stdout is deterministic: the same scenario files produce
+// bit-identical results across runs, worker counts and cache settings
+// (seeds live in the scenario specs; timing chatter goes to stderr).
+//
+// Usage:
+//
+//	wavm3scen -dir scenarios/             # run every committed scenario
+//	wavm3scen scenarios/memstorm-live.json            # run one file
+//	wavm3scen 'scenarios/c1-*.json'       # run a glob
+//	wavm3scen -check -dir scenarios/      # load+validate+compile only (CI)
+//	wavm3scen -list -dir scenarios/       # print the library catalog
+//	wavm3scen -dir scenarios/ -benchjson perf.json    # timing metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "run every *.json scenario in this directory")
+		check     = flag.Bool("check", false, "load, validate and compile the scenarios, run nothing (CI round-trip gate)")
+		list      = flag.Bool("list", false, "print the scenario catalog and exit")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
+		nocache   = flag.Bool("nocache", false, "disable the run cache (results identical, only slower)")
+		benchjson = flag.String("benchjson", "", "write machine-readable timing and cache metrics to this path")
+	)
+	flag.Parse()
+
+	if *dir == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "wavm3scen: nothing to run; pass -dir <scenarios/> or scenario files (see -h)")
+		os.Exit(2)
+	}
+
+	if *list {
+		if *dir == "" {
+			fatal(fmt.Errorf("-list needs -dir"))
+		}
+		infos, err := scenario.List(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, in := range infos {
+			form := "migration"
+			if in.Datacenter {
+				form = "datacenter"
+			} else if in.Phases > 0 {
+				form = fmt.Sprintf("migration, %d phases", in.Phases)
+			}
+			fmt.Printf("%-24s (%s)\n    %s\n", in.Name, form, in.Description)
+		}
+		return
+	}
+
+	specs := loadSpecs(*dir, flag.Args())
+	compiled := make([]*scenario.Compiled, len(specs))
+	for i, s := range specs {
+		c, err := s.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		compiled[i] = c
+	}
+	if *check {
+		for i, c := range compiled {
+			blocks := len(c.Runs)
+			if c.Plan != nil {
+				blocks = len(c.Plan.Plan.Moves)
+			}
+			fmt.Printf("ok %-24s %d block(s)\n", specs[i].Name, blocks)
+		}
+		return
+	}
+
+	var cache *sim.Cache
+	if !*nocache {
+		cache = sim.NewCache(0)
+	}
+	perf := report.NewBenchReport("wavm3scen")
+	perf.Workers = *workers
+	started := time.Now()
+
+	for i, c := range compiled {
+		t0 := time.Now()
+		if c.Plan != nil {
+			execPlan(specs[i], c.Plan, *workers, cache)
+		} else {
+			execRuns(specs[i], c.Runs, *workers, cache)
+		}
+		perf.Add(specs[i].Name, time.Since(t0))
+	}
+
+	perf.TotalSeconds = time.Since(started).Seconds()
+	perf.CacheHits, perf.CacheMisses = cache.Stats()
+	perf.CacheEntries = cache.Len()
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "wavm3scen: run cache: %d hits, %d misses, %d entries\n",
+			perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
+	}
+	if *benchjson != "" {
+		if err := perf.WriteJSONFile(*benchjson); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wavm3scen: wrote timing metrics to %s\n", *benchjson)
+	}
+	fmt.Fprintf(os.Stderr, "wavm3scen: %d scenario(s) in %v\n", len(specs), time.Since(started).Round(time.Millisecond))
+}
+
+// loadSpecs resolves -dir and positional file/glob arguments in order.
+// The combined set is held to the same invariant a single directory is:
+// unique names and unique effective seeds, so `-dir scenarios/ a.json`
+// cannot run a scenario twice or smuggle in a seed collision.
+func loadSpecs(dir string, args []string) []*scenario.Spec {
+	var specs []*scenario.Spec
+	if dir != "" {
+		ds, err := scenario.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, ds...)
+	}
+	for _, a := range args {
+		// Go's flag package stops at the first positional argument, so a
+		// flag placed after a file would arrive here; refuse it instead of
+		// trying to open a file called "-benchjson".
+		if strings.HasPrefix(a, "-") {
+			fatal(fmt.Errorf("flag %q after positional arguments; flags must come before scenario files", a))
+		}
+		if strings.ContainsAny(a, "*?[") {
+			gs, err := scenario.LoadGlob(a)
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, gs...)
+			continue
+		}
+		s, err := scenario.Load(a)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	if err := scenario.CheckUnique(specs); err != nil {
+		fatal(err)
+	}
+	return specs
+}
+
+// execRuns executes the migration blocks of one spec and prints one
+// result line per block.
+func execRuns(s *scenario.Spec, runs []scenario.Run, workers int, cache *sim.Cache) {
+	fmt.Printf("== %s\n", s.Name)
+	scs := make([]sim.Scenario, len(runs))
+	for i, r := range runs {
+		scs[i] = r.Scenario
+	}
+	cfg := experiments.Config{
+		Pair:        runs[0].Scenario.Pair,
+		MinRuns:     runs[0].MinRuns,
+		VarianceTol: runs[0].VarianceTol,
+		Workers:     workers,
+		Cache:       cache,
+		Seed:        1, // unused: every compiled scenario carries its own seed
+	}
+	results, err := experiments.RunScenarios(cfg, scs...)
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		printRunLine(runs[i].Label, res.Runs)
+	}
+}
+
+// printRunLine renders the mean measurements of one block's repeats —
+// the same BlockSummary the golden-output regression test pins.
+func printRunLine(label string, runs []*sim.RunResult) {
+	b := scenario.Summarize(runs)
+	fmt.Printf("   %-32s runs=%d  src %8.3f kJ  dst %8.3f kJ  total %8.3f kJ  moved %6.2f GiB  rounds %4.1f  down %6.2fs  dur %6.1fs\n",
+		label, b.Runs, b.SourceJ/1e3, b.TargetJ/1e3, b.TotalJ()/1e3, b.MovedGiB(), b.Rounds, b.DowntimeS, b.DurationS)
+}
+
+// execPlan executes a data-centre scenario's move plan.
+func execPlan(s *scenario.Spec, pr *scenario.PlanRun, workers int, cache *sim.Cache) {
+	fmt.Printf("== %s (plan: %s)\n", s.Name, pr.Policy)
+	ex := pr.Executor
+	ex.Workers = workers
+	ex.Cache = cache
+	rep, err := ex.ExecutePlan(pr.Policy, pr.Plan, pr.Hosts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, mv := range rep.Moves {
+		fmt.Printf("   move %-14s %-12s -> %-12s  %8.3f kJ  %6.1fs  %6.2f GiB\n",
+			mv.Move.VM, mv.Move.From, mv.Move.To,
+			mv.MeasuredEnergy.KiloJoules(), mv.Duration.Seconds(), float64(mv.BytesSent)/float64(units.GiB))
+	}
+	fmt.Printf("   total %d move(s)  %8.3f kJ  %6.1fs\n",
+		len(rep.Moves), rep.Total.KiloJoules(), rep.Elapsed.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavm3scen:", err)
+	os.Exit(1)
+}

@@ -1,43 +1,44 @@
 // Consolidation: drive the consolidation manager — the paper's motivating
 // application and the remaining actor of its Figure 1 — with a trained
-// WAVM3 estimator. The energy-aware policy prices every candidate move and
-// empties hosts at minimal migration cost; the classic first-fit-decreasing
-// baseline ignores energy and demonstrates the mistake the paper's
-// conclusion warns about (consolidating a high-dirty-ratio VM onto a busy
-// host).
+// WAVM3 estimator. The data-centre state comes from the scenario library
+// (scenarios/consolidation-sweep.json) instead of being duplicated here:
+// the same hosts that `wavm3scen` executes with the energy-blind
+// first-fit-decreasing plan are planned here by the energy-aware policy,
+// so the two tools price exactly the same sweep.
 //
-// Run with: go run ./examples/consolidation
+// Run from the repository root with: go run ./examples/consolidation
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 
+	"repro/internal/scenario"
 	"repro/wavm3"
 )
 
 func main() {
+	dir := flag.String("scenarios", "scenarios", "scenario library directory")
+	flag.Parse()
+
+	// The data centre under consolidation is declarative data.
+	spec, err := scenario.Load(filepath.Join(*dir, "consolidation-sweep.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := compiled.Plan.Hosts
+	fmt.Printf("loaded %q: %d hosts\n", spec.Name, len(hosts))
+
 	fmt.Println("training WAVM3 estimator...")
 	est, err := wavm3.TrainEstimator(wavm3.TrainingConfig{Quick: true, RunsPerPoint: 2, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	// A small data centre: a busy host, a calm host, and two lightly used
-	// hosts worth emptying — one of them running a dirty-memory cache.
-	hosts := []wavm3.HostState{
-		{Name: "rack1-busy", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
-			{Name: "analytics", MemBytes: wavm3.GiB(4), BusyVCPUs: 20, DirtyRatio: 0.2},
-		}},
-		{Name: "rack2-calm", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
-			{Name: "web", MemBytes: wavm3.GiB(4), BusyVCPUs: 4, DirtyRatio: 0.1},
-		}},
-		{Name: "rack3", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
-			{Name: "redis-cache", MemBytes: wavm3.GiB(4), BusyVCPUs: 2, DirtyRatio: 0.9},
-		}},
-		{Name: "rack4", Threads: 32, MemBytes: wavm3.GiB(32), IdlePower: 440, VMs: []wavm3.VMState{
-			{Name: "batch", MemBytes: wavm3.GiB(4), BusyVCPUs: 3, DirtyRatio: 0.05},
-		}},
 	}
 
 	show := func(name string, plan *wavm3.ConsolidationPlan) {
@@ -72,4 +73,6 @@ func main() {
 	fmt.Printf("\nenergy-aware spends %.1f kJ vs FFD's %.1f kJ for its consolidation —\n",
 		ea.MigrationEnergy.KiloJoules(), ffd.MigrationEnergy.KiloJoules())
 	fmt.Println("the difference is mostly where the high-dirty-ratio cache lands.")
+	fmt.Printf("\nto execute the energy-blind plan as measured migrations, run:\n")
+	fmt.Printf("  go run ./cmd/wavm3scen %s\n", filepath.Join(*dir, "consolidation-sweep.json"))
 }

@@ -1,18 +1,28 @@
 // Quickstart: train a WAVM3 estimator on the simulated testbed and predict
 // the energy cost of a planned live migration — the question the model
-// exists to answer.
+// exists to answer. As a closing sanity check, it loads a scenario from
+// the library (scenarios/memstorm-live.json) and measures the same class
+// of migration on the simulated testbed, putting prediction and
+// measurement side by side.
 //
-// Run with: go run ./examples/quickstart
+// Run from the repository root with: go run ./examples/quickstart
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 
+	"repro/internal/scenario"
+	"repro/internal/vm"
 	"repro/wavm3"
 )
 
 func main() {
+	dir := flag.String("scenarios", "scenarios", "scenario library directory")
+	flag.Parse()
+
 	// Train on a reduced campaign (a few seconds). Production use would
 	// run the full sweeps: wavm3.TrainingConfig{RunsPerPoint: 10}.
 	fmt.Println("training WAVM3 on the simulated m01-m02 testbed...")
@@ -57,4 +67,48 @@ func main() {
 	} else {
 		fmt.Println("\nlive migration wins on both energy and availability here.")
 	}
+
+	// Close the loop against the scenario library: measure a committed
+	// memory-storm scenario on the simulated testbed and compare with the
+	// model's prediction for the same migration.
+	spec, err := scenario.Load(filepath.Join(*dir, "memstorm-live.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := compiled.Runs[0].Scenario
+	run, err := wavm3.Simulate(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The predicted plan derives from the same compiled scenario, so
+	// editing the JSON file keeps measurement and prediction aligned.
+	typ, err := vm.Lookup(sc.MigratingType)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadTyp, err := vm.Lookup(vm.TypeLoadCPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := est.Estimate(wavm3.Plan{
+		Kind:              sc.Kind,
+		VMMemoryBytes:     int64(typ.RAM),
+		VMBusyVCPUs:       float64(sc.MigratingProfile.CPUPerVCPU) * float64(typ.VCPUs),
+		DirtyRatio:        spec.Migrating.Workload.DirtyTarget,
+		SourceBusyThreads: float64(sc.SourceLoadVMs * loadTyp.VCPUs),
+		TargetBusyThreads: float64(sc.TargetLoadVMs * loadTyp.VCPUs),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := run.SourceEnergy.Total() + run.TargetEnergy.Total()
+	fmt.Printf("\nscenario %q (from the library):\n", spec.Name)
+	fmt.Printf("  measured on the testbed:  %.1f kJ over %v\n",
+		measured.KiloJoules(), (run.Bounds.ME - run.Bounds.MS).Round(1e9))
+	fmt.Printf("  model's prediction:       %.1f kJ over %v\n",
+		pred.Total().KiloJoules(), pred.Duration.Round(1e9))
 }

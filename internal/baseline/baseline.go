@@ -1,15 +1,3 @@
-// Package baseline implements the three state-of-the-art models the paper
-// compares WAVM3 against in Section VII:
-//
-//   - HUANG (Eq. 8): instantaneous power linear in the migrating VM's CPU
-//     utilisation, integrated over the migration.
-//   - LIU (Eq. 9): migration energy linear in the amount of data exchanged.
-//   - STRUNK (Eq. 11): migration energy linear in VM memory size and
-//     network bandwidth.
-//
-// Each model is trained on the same campaign data as WAVM3 (per host role)
-// and satisfies core.EnergyModel, so the comparison harness treats all
-// four uniformly.
 package baseline
 
 import (

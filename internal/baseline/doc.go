@@ -1,0 +1,19 @@
+// Package baseline implements the three state-of-the-art models the paper
+// compares WAVM3 against in Section VII:
+//
+//   - HUANG (Eq. 8): instantaneous power linear in the migrating VM's CPU
+//     utilisation, integrated over the migration.
+//   - LIU (Eq. 9): migration energy linear in the amount of data exchanged.
+//   - STRUNK (Eq. 11): migration energy linear in VM memory size and
+//     network bandwidth.
+//
+// Each model is trained on the same campaign data as WAVM3 (per host role)
+// and satisfies core.EnergyModel, so the comparison harness treats all
+// four uniformly.
+//
+// Position in the data flow (see ARCHITECTURE.md): downstream of the
+// campaign datasets built by internal/experiments, alongside
+// internal/core; the trained baselines feed Table VI/VII generation and
+// wavm3.Estimator.CompareBaselines. Entry points: TrainHuang, TrainLiu,
+// TrainStrunk.
+package baseline

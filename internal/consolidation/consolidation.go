@@ -1,15 +1,3 @@
-// Package consolidation implements the remaining actor of the paper's
-// Figure 1: the consolidation manager that "constantly monitors the load
-// of the data centre, selects the VM to be migrated and the target host,
-// and finally initiates the migration". The paper's motivation is that
-// such managers need migration *energy* predictions to make good
-// decisions; this package provides the decision layer that consumes them.
-//
-// Two placement policies are provided: an energy-aware policy that prices
-// every candidate move with a migration-energy model (WAVM3 in practice)
-// and packs VMs onto the fewest hosts at minimal migration cost, and a
-// classic first-fit-decreasing policy that ignores migration energy — the
-// behaviour the paper argues against.
 package consolidation
 
 import (

@@ -1,10 +1,3 @@
-// Package core implements the paper's contribution: WAVM3, the
-// workload-aware energy model for VM migration (Section IV). It defines
-// the regression dataset shape shared with the baseline models, the
-// per-phase per-host linear power models of Eqs. 5–7, their training
-// pipeline (least squares on a reading subset, Section VI-F), energy
-// prediction by integration (Eqs. 3–4), and the C1→C2 idle-power bias
-// correction that transports coefficients across machine pairs.
 package core
 
 import (

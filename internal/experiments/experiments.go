@@ -159,6 +159,10 @@ type Config struct {
 	// and a shared cache simulates each distinct (scenario, seed) block
 	// once. nil runs uncached; cached results are bit-identical.
 	Cache *sim.Cache
+	// Scenarios optionally carries externally loaded scenarios (e.g.
+	// compiled from the internal/scenario library) for RunScenarios to
+	// execute under this config's repeat/worker/cache policy.
+	Scenarios []sim.Scenario
 }
 
 // DefaultConfig is the paper-faithful campaign configuration.

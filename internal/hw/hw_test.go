@@ -19,8 +19,14 @@ func m01(t *testing.T) MachineSpec {
 
 func TestCatalogMatchesTableIIc(t *testing.T) {
 	cat := Catalog()
-	if len(cat) != 4 {
-		t.Fatalf("catalog has %d machines, want 4", len(cat))
+	// The paper's four machines plus the h1 extension machine.
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d machines, want 5", len(cat))
+	}
+	for _, name := range []string{"m01", "m02", "o1", "o2", "h1"} {
+		if _, ok := cat[name]; !ok {
+			t.Fatalf("catalog missing %s", name)
+		}
 	}
 	for name, m := range cat {
 		if err := m.Validate(); err != nil {
@@ -74,6 +80,22 @@ func TestPair(t *testing.T) {
 	}
 	if got := PairNames(); len(got) != 2 || got[0] != PairM || got[1] != PairO {
 		t.Errorf("PairNames = %v", got)
+	}
+}
+
+func TestCustomPair(t *testing.T) {
+	// "src/dst" selects an arbitrary — possibly heterogeneous — pair.
+	s, d, err := Pair("m01/h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "m01" || d.Name != "h1" {
+		t.Errorf("custom pair = (%s, %s), want (m01, h1)", s.Name, d.Name)
+	}
+	for _, bad := range []string{"m01/nope", "nope/m01", "m01/m01", "m01/"} {
+		if _, _, err := Pair(bad); err == nil {
+			t.Errorf("custom pair %q accepted, want error", bad)
+		}
 	}
 }
 

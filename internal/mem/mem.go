@@ -1,7 +1,3 @@
-// Package mem models guest memory at page granularity: the dirty-page
-// bitmap Xen's shadow mode maintains during live migration, and the
-// dirtying processes generated by workloads. The dirtying ratio DR(v,t) of
-// the paper's Eq. 1 — dirty pages over total pages — is computed here.
 package mem
 
 import (

@@ -139,10 +139,14 @@ func New(cfg Config, src, dst *xen.Host, guestName string, link *netsim.Link) (*
 	if g.Memory == nil {
 		return nil, fmt.Errorf("migration: guest %q has no memory image", guestName)
 	}
-	// Xen refuses migration between incompatible machines; the paper's
-	// scope is homogeneous pairs.
-	if src.Spec.Threads != dst.Spec.Threads || src.Spec.Power != dst.Spec.Power {
-		return nil, fmt.Errorf("migration: %s and %s are not homogeneous", src.Spec.Name, dst.Spec.Name)
+	// Xen refuses migration between incompatible machines. The paper's
+	// testbed used homogeneous pairs; heterogeneous same-architecture
+	// pairs (CPUID-levelled, as production Xen supports) are allowed as an
+	// extension, but the toolstacks must speak the same migration
+	// protocol — a hypervisor version mismatch is a hard refusal.
+	if src.Spec.XenVersion != dst.Spec.XenVersion {
+		return nil, fmt.Errorf("migration: %s (Xen %s) and %s (Xen %s) are not migration-compatible",
+			src.Spec.Name, src.Spec.XenVersion, dst.Spec.Name, dst.Spec.XenVersion)
 	}
 	return &Engine{cfg: cfg.withDefaults(), src: src, dst: dst, guest: g, link: link}, nil
 }

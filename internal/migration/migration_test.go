@@ -291,10 +291,20 @@ func TestNewValidation(t *testing.T) {
 	}
 	_ = r.guest.Resume()
 
-	// Heterogeneous pair: o2 differs from m01.
+	// Heterogeneous same-version pair: allowed (CPUID-levelled migration,
+	// an extension beyond the paper's homogeneous testbed).
 	o2host, _ := xen.NewHost(hw.Catalog()["o2"])
-	if _, err := New(Config{}, r.src, o2host, r.guest.Name, r.link); err == nil {
-		t.Error("heterogeneous endpoints must fail (Xen restriction)")
+	if _, err := New(Config{}, r.src, o2host, r.guest.Name, r.link); err != nil {
+		t.Errorf("heterogeneous same-Xen endpoints must be accepted: %v", err)
+	}
+
+	// A hypervisor version mismatch is a hard refusal: the toolstacks
+	// would not speak the same migration protocol.
+	oldSpec := hw.Catalog()["o2"]
+	oldSpec.XenVersion = "3.4.0"
+	oldHost, _ := xen.NewHost(oldSpec)
+	if _, err := New(Config{}, r.src, oldHost, r.guest.Name, r.link); err == nil {
+		t.Error("mismatched Xen versions must fail")
 	}
 }
 

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current library results")
+
+// libraryDir locates the committed scenario library relative to this
+// package.
+const libraryDir = "../../scenarios"
+
+// goldenBlock is the pinned outcome of one compiled migration block: the
+// same BlockSummary wavm3scen prints, so the golden file pins exactly
+// what the runner reports. Values are exact float64s — the simulator is
+// deterministic, so equality is bitwise.
+type goldenBlock = BlockSummary
+
+// goldenMove is the pinned outcome of one executed plan move.
+type goldenMove struct {
+	VM        string  `json:"vm"`
+	EnergyJ   float64 `json:"energy_j"`
+	DurationS float64 `json:"duration_s"`
+	Bytes     int64   `json:"bytes"`
+}
+
+// golden pins the whole library: block label -> outcome, scenario name ->
+// executed moves.
+type golden struct {
+	Blocks map[string]goldenBlock  `json:"blocks"`
+	Moves  map[string][]goldenMove `json:"moves"`
+}
+
+// runLibrary executes every committed scenario with a shared cache and
+// returns the summarised outcomes.
+func runLibrary(t *testing.T) *golden {
+	t.Helper()
+	specs, err := LoadDir(libraryDir)
+	if err != nil {
+		t.Fatalf("loading the committed library: %v", err)
+	}
+	if len(specs) < 10 {
+		t.Fatalf("library has %d scenarios, the tentpole demands >= 10", len(specs))
+	}
+	cache := sim.NewCache(0)
+	out := &golden{Blocks: map[string]goldenBlock{}, Moves: map[string][]goldenMove{}}
+	for _, s := range specs {
+		c, err := s.Compile()
+		if err != nil {
+			t.Fatalf("compiling %s: %v", s.Name, err)
+		}
+		if c.Plan != nil {
+			ex := c.Plan.Executor
+			ex.Cache = cache
+			rep, err := ex.ExecutePlan(c.Plan.Policy, c.Plan.Plan, c.Plan.Hosts)
+			if err != nil {
+				t.Fatalf("executing %s: %v", s.Name, err)
+			}
+			for _, mv := range rep.Moves {
+				out.Moves[s.Name] = append(out.Moves[s.Name], goldenMove{
+					VM:        mv.Move.VM,
+					EnergyJ:   float64(mv.MeasuredEnergy),
+					DurationS: mv.Duration.Seconds(),
+					Bytes:     int64(mv.BytesSent),
+				})
+			}
+			continue
+		}
+		for _, r := range c.Runs {
+			runs, err := cache.RunRepeatedWorkers(r.Scenario, r.MinRuns, r.VarianceTol, 0)
+			if err != nil {
+				t.Fatalf("running %s: %v", r.Label, err)
+			}
+			out.Blocks[r.Label] = Summarize(runs)
+		}
+	}
+	return out
+}
+
+// TestLibraryGolden pins every committed scenario's measured outcome.
+// The simulator is deterministic, so any drift here is a real behaviour
+// change: inspect it, and if intended, regenerate with
+//
+//	go test ./internal/scenario/ -run TestLibraryGolden -update
+func TestLibraryGolden(t *testing.T) {
+	got := runLibrary(t)
+	path := filepath.Join("testdata", "golden.json")
+
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d blocks and %d plans", path, len(got.Blocks), len(got.Moves))
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (%v); run with -update to create it", err)
+	}
+	var want golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+
+	var labels []string
+	for l := range want.Blocks {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		g, ok := got.Blocks[l]
+		if !ok {
+			t.Errorf("block %q in golden file but not produced by the library", l)
+			continue
+		}
+		if g != want.Blocks[l] {
+			t.Errorf("block %q drifted:\n  got  %+v\n  want %+v", l, g, want.Blocks[l])
+		}
+	}
+	for l := range got.Blocks {
+		if _, ok := want.Blocks[l]; !ok {
+			t.Errorf("new block %q not in golden file; run -update", l)
+		}
+	}
+	for name, moves := range want.Moves {
+		g, ok := got.Moves[name]
+		if !ok {
+			t.Errorf("plan %q in golden file but not produced", name)
+			continue
+		}
+		if len(g) != len(moves) {
+			t.Errorf("plan %q has %d moves, want %d", name, len(g), len(moves))
+			continue
+		}
+		for i := range moves {
+			if g[i] != moves[i] {
+				t.Errorf("plan %q move %d drifted:\n  got  %+v\n  want %+v", name, i, g[i], moves[i])
+			}
+		}
+	}
+	for name := range got.Moves {
+		if _, ok := want.Moves[name]; !ok {
+			t.Errorf("new plan %q not in golden file; run -update", name)
+		}
+	}
+}
+
+// TestLibraryRoundTrips is the CI gate behind `wavm3scen -check`: every
+// committed scenario file must load strictly, validate and compile.
+func TestLibraryRoundTrips(t *testing.T) {
+	specs, err := LoadDir(libraryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		c, err := s.Compile()
+		if err != nil {
+			t.Errorf("%s does not compile: %v", s.Name, err)
+			continue
+		}
+		if len(c.Runs) == 0 && c.Plan == nil {
+			t.Errorf("%s compiled to nothing", s.Name)
+		}
+		// Re-marshalling and re-loading must compile to identical runs —
+		// the spec carries everything, nothing hides in Go state.
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s does not round-trip: %v", s.Name, err)
+		}
+		cb, err := back.Compile()
+		if err != nil {
+			t.Errorf("%s round-tripped spec does not compile: %v", s.Name, err)
+			continue
+		}
+		for i := range c.Runs {
+			if c.Runs[i].Scenario != cb.Runs[i].Scenario {
+				t.Errorf("%s run %d changed across a JSON round-trip", s.Name, i)
+			}
+		}
+	}
+}

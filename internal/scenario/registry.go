@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Load reads, strictly decodes and validates one scenario file. Unknown
+// JSON fields are errors — a typoed field in a committed scenario must
+// fail loudly, not silently select a default. JSON syntax errors carry
+// the byte offset; all failures are *Error values with a field path.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &Error{Scenario: path, Path: "(file)", Msg: err.Error()}
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		// Syntax errors carry their own offset; for everything else
+		// (truncated files, type mismatches, unknown fields) the decoder's
+		// input offset localises the failure.
+		offset := dec.InputOffset()
+		if syn, ok := err.(*json.SyntaxError); ok {
+			offset = syn.Offset
+		}
+		return nil, &Error{Scenario: path, Path: "(json)",
+			Msg: fmt.Sprintf("malformed JSON near byte %d: %v", offset, err)}
+	}
+	// Reject trailing garbage after the top-level value.
+	if dec.More() {
+		return nil, &Error{Scenario: path, Path: "(json)", Msg: "trailing data after the scenario object"}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadDir loads every *.json file in dir in name order and cross-checks
+// the set: scenario names and effective seeds must be unique, so library
+// entries stay independent samples with distinct run-cache identities.
+func LoadDir(dir string) ([]*Spec, error) {
+	return LoadGlob(filepath.Join(dir, "*.json"))
+}
+
+// LoadGlob is LoadDir for an arbitrary glob pattern.
+func LoadGlob(pattern string) ([]*Spec, error) {
+	specs, _, err := loadFiles(pattern)
+	return specs, err
+}
+
+// loadFiles resolves a glob, loads every match in name order and
+// cross-checks uniqueness, returning the specs alongside the file each
+// one came from (same index).
+func loadFiles(pattern string) ([]*Spec, []string, error) {
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, nil, &Error{Scenario: pattern, Path: "(glob)", Msg: err.Error()}
+	}
+	if len(files) == 0 {
+		return nil, nil, &Error{Scenario: pattern, Path: "(glob)", Msg: "no scenario files match"}
+	}
+	sort.Strings(files)
+	specs := make([]*Spec, 0, len(files))
+	for _, f := range files {
+		s, err := Load(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs = append(specs, s)
+	}
+	if err := CheckUnique(specs); err != nil {
+		return nil, nil, err
+	}
+	return specs, files, nil
+}
+
+// CheckUnique enforces the library invariant on an arbitrary spec set:
+// scenario names and effective seeds must be unique, so entries stay
+// independent samples with distinct run-cache identities. Runners that
+// combine sources (a directory plus explicit files) apply it to the
+// combined set.
+func CheckUnique(specs []*Spec) error {
+	byName := make(map[string]bool, len(specs))
+	bySeed := make(map[int64]string, len(specs)) // effective seed -> name
+	for _, s := range specs {
+		if byName[s.Name] {
+			return errf(s.Name, "name", "duplicate scenario name in the loaded set")
+		}
+		byName[s.Name] = true
+		seed := s.EffectiveSeed()
+		if prev, dup := bySeed[seed]; dup {
+			return errf(s.Name, "seed", "effective seed %d collides with scenario %q; scenarios must be independent samples — pick a distinct name or an explicit seed", seed, prev)
+		}
+		bySeed[seed] = s.Name
+	}
+	return nil
+}
+
+// Info is one registry listing entry.
+type Info struct {
+	// Name and Description come from the spec.
+	Name, Description string
+	// File is the path the spec was loaded from.
+	File string
+	// Datacenter reports the scenario form (plan vs single migration).
+	Datacenter bool
+	// Phases is the phase count (0 for single-block scenarios).
+	Phases int
+}
+
+// List loads a scenario directory and returns its catalog in name order.
+func List(dir string) ([]Info, error) {
+	specs, files, err := loadFiles(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Info, 0, len(specs))
+	for i, s := range specs {
+		out = append(out, Info{
+			Name:        s.Name,
+			Description: s.Description,
+			File:        files[i],
+			Datacenter:  s.Datacenter != nil,
+			Phases:      len(s.Phases),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

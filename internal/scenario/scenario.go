@@ -1,0 +1,625 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/meter"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// CurrentVersion is the spec format version this package reads and
+// writes. Committed scenarios carry their version explicitly so a future
+// format change can migrate or reject old files deliberately instead of
+// misreading them.
+const CurrentVersion = 1
+
+// Error is a scenario load or validation failure tied to the scenario it
+// occurred in and the JSON field path that caused it, so a failing file
+// in a library of dozens points straight at the offending line.
+type Error struct {
+	// Scenario names the spec ("diurnal-day") or, before the name is
+	// known, the file being loaded.
+	Scenario string
+	// Path is the dotted JSON field path ("migrating.workload.profile",
+	// "phases[2].duration_s"). Syntax errors use "(json)".
+	Path string
+	// Msg describes the failure.
+	Msg string
+}
+
+// Error renders "scenario <name>: <path>: <msg>".
+func (e *Error) Error() string {
+	return fmt.Sprintf("scenario %q: %s: %s", e.Scenario, e.Path, e.Msg)
+}
+
+// errf builds a pathed Error.
+func errf(scenario, path, format string, args ...any) *Error {
+	return &Error{Scenario: scenario, Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Spec is one declarative scenario. The zero value of every optional
+// field selects the documented default, so minimal specs stay minimal.
+type Spec struct {
+	// Version is the spec format version; must equal CurrentVersion.
+	Version int `json:"version"`
+	// Name identifies the scenario in the registry, in run labels and in
+	// cache keys. Lowercase letters, digits, '.', '_' and '-' only.
+	Name string `json:"name"`
+	// Description says what the scenario probes (shown by List and the
+	// runner's -list flag).
+	Description string `json:"description,omitempty"`
+	// Pair selects the machine pair: "m01-m02" (default), "o1-o2", or a
+	// custom "src/dst" mix of hw catalog machines such as "m01/h1".
+	Pair string `json:"pair,omitempty"`
+	// Kind is the migration mechanism: "live" (default), "non-live" or
+	// "post-copy".
+	Kind string `json:"kind,omitempty"`
+	// Seed pins the scenario's randomness; 0 derives a stable seed from
+	// the name (see EffectiveSeed).
+	Seed int64 `json:"seed,omitempty"`
+	// Migrating describes the migrating guest (migration scenarios only).
+	Migrating Guest `json:"migrating,omitempty"`
+	// SourceLoadVMs / TargetLoadVMs are the co-located load-VM counts.
+	SourceLoadVMs int `json:"source_load_vms,omitempty"`
+	TargetLoadVMs int `json:"target_load_vms,omitempty"`
+	// LoadWorkload overrides the load VMs' workload (matrixmult default).
+	LoadWorkload *Workload `json:"load_workload,omitempty"`
+	// Phases is the optional workload-phase timeline. Each phase compiles
+	// to one independently runnable migration block: the migration happens
+	// at the phase's sampling point with the workload and co-located load
+	// scaled by the phase's intensity factor.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+	// Timing overrides the pre/post-migration observation windows.
+	Timing *Timing `json:"timing,omitempty"`
+	// Migration overrides the migration engine's tuning.
+	Migration *MigrationTuning `json:"migration,omitempty"`
+	// Meter overrides the simulated power analysers.
+	Meter *Meter `json:"meter,omitempty"`
+	// Repeat overrides the repeat policy (2 runs, 50% variance tolerance
+	// by default).
+	Repeat *Repeat `json:"repeat,omitempty"`
+	// Datacenter turns the spec into a data-centre scenario: a host
+	// population whose consolidation plan is executed move by move as
+	// measured migrations (dcsim). Mutually exclusive with Migrating.
+	Datacenter *Datacenter `json:"datacenter,omitempty"`
+}
+
+// Guest describes the migrating VM.
+type Guest struct {
+	// Type is the vm instance type; empty infers migrating-mem for
+	// memory-dirtying workloads and migrating-cpu otherwise.
+	Type string `json:"type,omitempty"`
+	// Workload is what runs inside the guest.
+	Workload Workload `json:"workload,omitempty"`
+}
+
+// Workload names a workload profile plus its parameters.
+type Workload struct {
+	// Profile is one of "matrixmult", "pagedirtier", "hotcold",
+	// "netintensive", "idle".
+	Profile string `json:"profile"`
+	// DirtyTarget is the target dirty ratio of the pagedirtier/hotcold
+	// profiles (ignored — and rejected if set — for the others).
+	DirtyTarget float64 `json:"dirty_target,omitempty"`
+}
+
+// Workload profile names.
+const (
+	ProfileMatrixMult   = "matrixmult"
+	ProfilePagedirtier  = "pagedirtier"
+	ProfileHotCold      = "hotcold"
+	ProfileNetIntensive = "netintensive"
+	ProfileIdle         = "idle"
+)
+
+// profileNames lists the accepted workload profiles for error messages.
+var profileNames = []string{ProfileMatrixMult, ProfilePagedirtier, ProfileHotCold, ProfileNetIntensive, ProfileIdle}
+
+// profile resolves the named workload profile.
+func (w Workload) profile() (workload.Profile, error) {
+	switch w.Profile {
+	case ProfileMatrixMult:
+		return workload.MatrixMultProfile(), nil
+	case ProfilePagedirtier:
+		return workload.PagedirtierProfile(units.Fraction(w.DirtyTarget)), nil
+	case ProfileHotCold:
+		return workload.HotColdMemProfile(units.Fraction(w.DirtyTarget)), nil
+	case ProfileNetIntensive:
+		return workload.NetIntensiveProfile(), nil
+	case ProfileIdle:
+		return workload.IdleProfile(), nil
+	default:
+		return workload.Profile{}, fmt.Errorf("unknown workload profile %q (want one of %v)", w.Profile, profileNames)
+	}
+}
+
+// dirties reports whether the profile is parameterised by a dirty target.
+func (w Workload) dirties() bool {
+	return w.Profile == ProfilePagedirtier || w.Profile == ProfileHotCold
+}
+
+// validate checks one workload reference under the given path.
+func (w Workload) validate(name, path string) error {
+	if _, err := w.profile(); err != nil {
+		return errf(name, path+".profile", "%v", err)
+	}
+	if w.DirtyTarget < 0 || w.DirtyTarget > 1 {
+		return errf(name, path+".dirty_target", "%v outside [0, 1]", w.DirtyTarget)
+	}
+	if w.DirtyTarget != 0 && !w.dirties() {
+		return errf(name, path+".dirty_target", "profile %q takes no dirty target", w.Profile)
+	}
+	return nil
+}
+
+// PhaseSpec is the JSON form of one workload phase.
+type PhaseSpec struct {
+	// Name labels the phase in run labels; "<kind><index>" when empty.
+	Name string `json:"name,omitempty"`
+	// Kind is "steady", "burst", "diurnal" or "ramp".
+	Kind string `json:"kind"`
+	// DurationS is the phase length in seconds; must be positive.
+	DurationS float64 `json:"duration_s"`
+	// Level is the baseline intensity factor (0 selects 1).
+	Level float64 `json:"level,omitempty"`
+	// Peak is the maximum intensity factor of burst/diurnal/ramp shapes
+	// (0 selects Level).
+	Peak float64 `json:"peak,omitempty"`
+	// At is the fractional position within the phase at which the
+	// migration is sampled, in [0, 1]; nil selects 0.5 (the midpoint — the
+	// burst peak, midday of a diurnal phase, halfway up a ramp).
+	At *float64 `json:"at,omitempty"`
+}
+
+// phase lowers the JSON form into the workload package's Phase.
+func (p PhaseSpec) phase() workload.Phase {
+	return workload.Phase{
+		Name:     p.Name,
+		Kind:     workload.PhaseKind(p.Kind),
+		Duration: time.Duration(p.DurationS * float64(time.Second)),
+		Level:    p.Level,
+		Peak:     p.Peak,
+	}
+}
+
+// at returns the sampling position.
+func (p PhaseSpec) at() float64 {
+	if p.At == nil {
+		return 0.5
+	}
+	return *p.At
+}
+
+// label names the phase for run labels.
+func (p PhaseSpec) label(i int) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("%s%d", p.Kind, i)
+}
+
+// Timing is the pre/post-migration observation window override, in
+// seconds of simulated time.
+type Timing struct {
+	// PreS is the normal-execution span before the migration starts. It
+	// must cover the meter stabilisation rule (20 samples at the meter
+	// cadence); 0 selects 11 s.
+	PreS float64 `json:"pre_s,omitempty"`
+	// PostS is the observed tail after the migration ends; 0 selects 6 s.
+	PostS float64 `json:"post_s,omitempty"`
+}
+
+// MigrationTuning overrides the migration engine's defaults. Zero fields
+// keep the engine defaults.
+type MigrationTuning struct {
+	// InitiationS / ActivationS override the handshake and resume spans.
+	InitiationS float64 `json:"initiation_s,omitempty"`
+	ActivationS float64 `json:"activation_s,omitempty"`
+	// MaxRounds bounds pre-copy iterations.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// StopThresholdPages ends pre-copy once the dirty set is this small.
+	StopThresholdPages int64 `json:"stop_threshold_pages,omitempty"`
+	// MaxDataFactor is Xen's data valve (total sent ≤ factor × VM memory).
+	MaxDataFactor float64 `json:"max_data_factor,omitempty"`
+}
+
+// config lowers the tuning into the migration package's Config.
+func (m *MigrationTuning) config(kind migration.Kind) migration.Config {
+	cfg := migration.Config{Kind: kind}
+	if m == nil {
+		return cfg
+	}
+	cfg.InitiationTime = time.Duration(m.InitiationS * float64(time.Second))
+	cfg.ActivationTime = time.Duration(m.ActivationS * float64(time.Second))
+	cfg.MaxRounds = m.MaxRounds
+	cfg.StopThreshold = units.Pages(m.StopThresholdPages)
+	cfg.MaxDataFactor = m.MaxDataFactor
+	return cfg
+}
+
+// Meter is the power-analyser override: sampling period in milliseconds
+// plus the instrument's accuracy band and reading jitter.
+type Meter struct {
+	// PeriodMS is the sampling interval in milliseconds; it must be a
+	// positive multiple of 100 (the simulation step). 0 keeps 500 ms.
+	PeriodMS int `json:"period_ms,omitempty"`
+	// Accuracy / NoiseSigma override the instrument bands when > 0.
+	Accuracy   float64 `json:"accuracy,omitempty"`
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
+}
+
+// config lowers the override into the sim package's MeterConfig.
+func (m *Meter) config() sim.MeterConfig {
+	if m == nil {
+		return sim.MeterConfig{}
+	}
+	return sim.MeterConfig{
+		Period:     time.Duration(m.PeriodMS) * time.Millisecond,
+		Accuracy:   m.Accuracy,
+		NoiseSigma: m.NoiseSigma,
+	}
+}
+
+// Repeat is the repeat policy: how many times each compiled run executes
+// and when the paper's variance-convergence rule stops it.
+type Repeat struct {
+	// MinRuns is the repeat floor; at least 2 (the default).
+	MinRuns int `json:"min_runs,omitempty"`
+	// VarianceTol is the convergence tolerance; 0 selects 0.5.
+	VarianceTol float64 `json:"variance_tol,omitempty"`
+}
+
+// Default repeat policy of compiled runs.
+const (
+	DefaultMinRuns     = 2
+	DefaultVarianceTol = 0.5
+)
+
+// minRuns returns the effective repeat floor.
+func (r *Repeat) minRuns() int {
+	if r == nil || r.MinRuns == 0 {
+		return DefaultMinRuns
+	}
+	return r.MinRuns
+}
+
+// varianceTol returns the effective convergence tolerance.
+func (r *Repeat) varianceTol() float64 {
+	if r == nil || r.VarianceTol == 0 {
+		return DefaultVarianceTol
+	}
+	return r.VarianceTol
+}
+
+// Datacenter is the host population of a data-centre scenario.
+type Datacenter struct {
+	// Hosts are the physical hosts and their resident VMs.
+	Hosts []HostSpec `json:"hosts"`
+	// Moves is the explicit migration plan, executed in order. When
+	// empty, the energy-blind first-fit-decreasing policy plans the moves
+	// (the only built-in policy that needs no trained estimator, so the
+	// plan stays deterministic data).
+	Moves []MoveSpec `json:"moves,omitempty"`
+}
+
+// HostSpec describes one data-centre host.
+type HostSpec struct {
+	Name string `json:"name"`
+	// Threads is the CPU capacity in hardware threads.
+	Threads int `json:"threads"`
+	// MemGiB is the RAM capacity in GiB.
+	MemGiB float64 `json:"mem_gib"`
+	// IdlePowerW is the host's idle draw in watts (the saving made by
+	// emptying and switching it off).
+	IdlePowerW float64 `json:"idle_power_w"`
+	// VMs are the resident guests.
+	VMs []VMSpec `json:"vms,omitempty"`
+}
+
+// VMSpec describes one resident VM of a data-centre host.
+type VMSpec struct {
+	Name string `json:"name"`
+	// MemGiB is the VM memory size in GiB.
+	MemGiB float64 `json:"mem_gib"`
+	// BusyVCPUs is the VM's CPU demand in busy-vCPU units.
+	BusyVCPUs float64 `json:"busy_vcpus,omitempty"`
+	// DirtyRatio is the VM's steady-state memory dirtying ratio.
+	DirtyRatio float64 `json:"dirty_ratio,omitempty"`
+}
+
+// MoveSpec is one explicit migration of a data-centre plan.
+type MoveSpec struct {
+	VM   string `json:"vm"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// EffectiveSeed returns the seed the scenario runs under: the explicit
+// Seed when set, otherwise a stable FNV-1a hash of the name (masked to a
+// positive value so seed arithmetic downstream never wraps surprisingly).
+// Deriving from the name keeps the compiled sim.Scenario values — the
+// run-cache keys — identical across sessions and machines.
+func (s *Spec) EffectiveSeed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	seed := int64(h.Sum64() & (1<<62 - 1))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// kind parses the spec's migration mechanism.
+func (s *Spec) kind() (migration.Kind, error) {
+	switch s.Kind {
+	case "", "live":
+		return migration.Live, nil
+	case "non-live":
+		return migration.NonLive, nil
+	case "post-copy":
+		return migration.PostCopy, nil
+	default:
+		return 0, fmt.Errorf("unknown migration kind %q (want live, non-live or post-copy)", s.Kind)
+	}
+}
+
+// pair returns the effective machine pair name.
+func (s *Spec) pair() string {
+	if s.Pair == "" {
+		return hw.PairM
+	}
+	return s.Pair
+}
+
+// validName reports whether a scenario name is usable in labels, file
+// names and cache keys.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec exhaustively and returns the first failure as
+// a pathed *Error. A valid spec is guaranteed to Compile.
+func (s *Spec) Validate() error {
+	name := s.Name
+	if s.Version != CurrentVersion {
+		return errf(name, "version", "unsupported version %d (this build reads version %d)", s.Version, CurrentVersion)
+	}
+	if !validName(s.Name) {
+		return errf(name, "name", "must be non-empty lowercase [a-z0-9._-], got %q", s.Name)
+	}
+	src, dst, err := hw.Pair(s.pair())
+	if err != nil {
+		return errf(name, "pair", "%v", err)
+	}
+	// netsim will refuse a cross-switch link at run time; catch it here so
+	// the -check gate cannot green-light a scenario that can never run.
+	if src.Switch != dst.Switch {
+		return errf(name, "pair", "%s (%s) and %s (%s) are on different switches and cannot migrate", src.Name, src.Switch, dst.Name, dst.Switch)
+	}
+	kind, err := s.kind()
+	if err != nil {
+		return errf(name, "kind", "%v", err)
+	}
+	if s.Seed < 0 {
+		return errf(name, "seed", "must be non-negative, got %d", s.Seed)
+	}
+	if s.Datacenter != nil {
+		return s.validateDatacenter(kind)
+	}
+	return s.validateMigrationRun(name)
+}
+
+// validateMigrationRun checks the single-migration form of the spec.
+func (s *Spec) validateMigrationRun(name string) error {
+	if s.Migrating.Workload.Profile == "" {
+		return errf(name, "migrating.workload.profile", "required (or set \"datacenter\" for a data-centre scenario)")
+	}
+	if err := s.Migrating.Workload.validate(name, "migrating.workload"); err != nil {
+		return err
+	}
+	if s.Migrating.Type != "" {
+		if _, err := vm.Lookup(s.Migrating.Type); err != nil {
+			return errf(name, "migrating.type", "%v", err)
+		}
+	}
+	if s.SourceLoadVMs < 0 {
+		return errf(name, "source_load_vms", "must be non-negative, got %d", s.SourceLoadVMs)
+	}
+	if s.TargetLoadVMs < 0 {
+		return errf(name, "target_load_vms", "must be non-negative, got %d", s.TargetLoadVMs)
+	}
+	if s.LoadWorkload != nil {
+		if err := s.LoadWorkload.validate(name, "load_workload"); err != nil {
+			return err
+		}
+	}
+	labels := make(map[string]int, len(s.Phases))
+	for i, p := range s.Phases {
+		// Check each field directly so the error path names the field
+		// that is actually wrong.
+		ph := p.phase()
+		switch ph.Kind {
+		case workload.PhaseSteady, workload.PhaseBurst, workload.PhaseDiurnal, workload.PhaseRamp:
+		default:
+			return errf(name, fmt.Sprintf("phases[%d].kind", i), "unknown phase kind %q (want one of %v)", p.Kind, workload.PhaseKinds())
+		}
+		if p.DurationS <= 0 {
+			return errf(name, fmt.Sprintf("phases[%d].duration_s", i), "must be positive, got %v", p.DurationS)
+		}
+		if p.Level < 0 {
+			return errf(name, fmt.Sprintf("phases[%d].level", i), "must be non-negative, got %v", p.Level)
+		}
+		if p.Peak < 0 {
+			return errf(name, fmt.Sprintf("phases[%d].peak", i), "must be non-negative, got %v", p.Peak)
+		}
+		// Belt and braces: the lowered phase must agree.
+		if err := ph.Validate(); err != nil {
+			return errf(name, fmt.Sprintf("phases[%d]", i), "%v", err)
+		}
+		if at := p.at(); at < 0 || at > 1 {
+			return errf(name, fmt.Sprintf("phases[%d].at", i), "%v outside [0, 1]", at)
+		}
+		// Phase labels become run labels and scenario names; collisions
+		// would make two blocks indistinguishable in every report.
+		if prev, dup := labels[p.label(i)]; dup {
+			return errf(name, fmt.Sprintf("phases[%d].name", i), "label %q collides with phase %d", p.label(i), prev)
+		}
+		labels[p.label(i)] = i
+	}
+	if s.Timing != nil {
+		if s.Timing.PreS < 0 {
+			return errf(name, "timing.pre_s", "must be non-negative, got %v", s.Timing.PreS)
+		}
+		if s.Timing.PostS < 0 {
+			return errf(name, "timing.post_s", "must be non-negative, got %v", s.Timing.PostS)
+		}
+	}
+	if m := s.Migration; m != nil {
+		switch {
+		case m.InitiationS < 0:
+			return errf(name, "migration.initiation_s", "must be non-negative, got %v", m.InitiationS)
+		case m.ActivationS < 0:
+			return errf(name, "migration.activation_s", "must be non-negative, got %v", m.ActivationS)
+		case m.MaxRounds < 0:
+			return errf(name, "migration.max_rounds", "must be non-negative, got %d", m.MaxRounds)
+		case m.StopThresholdPages < 0:
+			return errf(name, "migration.stop_threshold_pages", "must be non-negative, got %d", m.StopThresholdPages)
+		case m.MaxDataFactor < 0:
+			return errf(name, "migration.max_data_factor", "must be non-negative, got %v", m.MaxDataFactor)
+		}
+	}
+	if s.Meter != nil {
+		if err := s.Meter.config().Validate(); err != nil {
+			return errf(name, "meter", "%v", err)
+		}
+	}
+	// The pre-migration window must cover the paper's stabilisation rule:
+	// 20 consecutive samples at the effective meter cadence.
+	pre := DefaultPreMigration
+	if s.Timing != nil && s.Timing.PreS > 0 {
+		pre = time.Duration(s.Timing.PreS * float64(time.Second))
+	}
+	period := meter.DefaultPeriod
+	if s.Meter != nil && s.Meter.PeriodMS > 0 {
+		period = time.Duration(s.Meter.PeriodMS) * time.Millisecond
+	}
+	if need := time.Duration(meter.StabilisationWindow) * period; pre < need {
+		return errf(name, "timing.pre_s", "pre-migration window %v cannot cover the stabilisation rule (%d samples at %v = %v)", pre, meter.StabilisationWindow, period, need)
+	}
+	if r := s.Repeat; r != nil {
+		if r.MinRuns == 1 || r.MinRuns < 0 {
+			return errf(name, "repeat.min_runs", "need at least 2 runs for the variance rule, got %d", r.MinRuns)
+		}
+		if r.VarianceTol < 0 {
+			return errf(name, "repeat.variance_tol", "must be non-negative, got %v", r.VarianceTol)
+		}
+	}
+	// Belt and braces: the compiled base scenario must satisfy the
+	// simulator's own validation too.
+	base, err := s.baseScenario()
+	if err != nil {
+		return err
+	}
+	if err := base.Validate(); err != nil {
+		return errf(name, "(compiled)", "%v", err)
+	}
+	return nil
+}
+
+// validateDatacenter checks the data-centre form of the spec.
+func (s *Spec) validateDatacenter(kind migration.Kind) error {
+	name := s.Name
+	if s.Migrating.Workload.Profile != "" || s.Migrating.Type != "" {
+		return errf(name, "migrating", "unused in data-centre scenarios (the plan's moves select the workloads)")
+	}
+	if len(s.Phases) > 0 {
+		return errf(name, "phases", "unused in data-centre scenarios")
+	}
+	if s.SourceLoadVMs != 0 || s.TargetLoadVMs != 0 {
+		return errf(name, "source_load_vms/target_load_vms", "unused in data-centre scenarios (host load comes from the hosts' resident VMs)")
+	}
+	if s.LoadWorkload != nil {
+		return errf(name, "load_workload", "unused in data-centre scenarios")
+	}
+	if kind == migration.PostCopy {
+		return errf(name, "kind", "post-copy is not supported for data-centre plans")
+	}
+	dc := s.Datacenter
+	if len(dc.Hosts) < 2 {
+		return errf(name, "datacenter.hosts", "need at least 2 hosts, got %d", len(dc.Hosts))
+	}
+	hosts, err := s.hostStates()
+	if err != nil {
+		return err
+	}
+	// Replay the explicit moves against the evolving placement so a move
+	// referencing a VM after it has left its host fails here, not at run
+	// time.
+	placement := make(map[string]string) // VM -> current host
+	hostSet := make(map[string]bool, len(hosts))
+	for hi, h := range hosts {
+		if err := h.Validate(); err != nil {
+			return errf(name, fmt.Sprintf("datacenter.hosts[%d]", hi), "%v", err)
+		}
+		if hostSet[h.Name] {
+			return errf(name, fmt.Sprintf("datacenter.hosts[%d].name", hi), "duplicate host %q", h.Name)
+		}
+		hostSet[h.Name] = true
+		for _, v := range h.VMs {
+			if prev, dup := placement[v.Name]; dup {
+				return errf(name, fmt.Sprintf("datacenter.hosts[%d].vms", hi), "VM %q already on host %q", v.Name, prev)
+			}
+			placement[v.Name] = h.Name
+		}
+	}
+	for mi, mv := range dc.Moves {
+		path := fmt.Sprintf("datacenter.moves[%d]", mi)
+		switch {
+		case mv.VM == "":
+			return errf(name, path+".vm", "required")
+		case !hostSet[mv.From]:
+			return errf(name, path+".from", "unknown host %q", mv.From)
+		case !hostSet[mv.To]:
+			return errf(name, path+".to", "unknown host %q", mv.To)
+		case mv.From == mv.To:
+			return errf(name, path+".to", "move must change hosts, both are %q", mv.To)
+		}
+		at, ok := placement[mv.VM]
+		if !ok {
+			return errf(name, path+".vm", "unknown VM %q", mv.VM)
+		}
+		if at != mv.From {
+			return errf(name, path+".from", "VM %q is on host %q at this point in the plan, not %q", mv.VM, at, mv.From)
+		}
+		placement[mv.VM] = mv.To
+	}
+	if r := s.Repeat; r != nil {
+		return errf(name, "repeat", "unused in data-centre scenarios (each move runs once)")
+	}
+	if s.Meter != nil || s.Migration != nil || s.Timing != nil {
+		// The dcsim executor derives per-move scenarios itself; overrides
+		// that would silently not apply are rejected.
+		return errf(name, "meter/migration/timing", "unused in data-centre scenarios")
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// BlockSummary is the per-block aggregate of one compiled run's repeats:
+// mean energies, data moved, rounds, downtime and migration duration.
+// It is what wavm3scen prints and what the library's golden-output
+// regression test pins, computed in exactly one place so the two can
+// never drift apart.
+type BlockSummary struct {
+	// Runs is the repeat count the variance rule settled on.
+	Runs int `json:"runs"`
+	// SourceJ / TargetJ are the mean per-host migration energies in J.
+	SourceJ float64 `json:"source_j"`
+	TargetJ float64 `json:"target_j"`
+	// MovedBytes is the mean state data moved.
+	MovedBytes float64 `json:"moved_bytes"`
+	// Rounds is the mean pre-copy round count.
+	Rounds float64 `json:"rounds"`
+	// DowntimeS is the mean guest suspension span in seconds.
+	DowntimeS float64 `json:"downtime_s"`
+	// DurationS is the mean migration span (ms → me) in seconds.
+	DurationS float64 `json:"duration_s"`
+}
+
+// TotalJ returns the mean data-centre-level energy of the block.
+func (b BlockSummary) TotalJ() float64 { return b.SourceJ + b.TargetJ }
+
+// MovedGiB returns the mean data moved in GiB.
+func (b BlockSummary) MovedGiB() float64 { return b.MovedBytes / float64(units.GiB) }
+
+// Summarize aggregates the repeats of one block. Empty input returns the
+// zero summary.
+func Summarize(runs []*sim.RunResult) BlockSummary {
+	var b BlockSummary
+	if len(runs) == 0 {
+		return b
+	}
+	b.Runs = len(runs)
+	for _, r := range runs {
+		b.SourceJ += float64(r.SourceEnergy.Total())
+		b.TargetJ += float64(r.TargetEnergy.Total())
+		b.MovedBytes += float64(r.BytesSent)
+		b.Rounds += float64(r.Rounds)
+		b.DowntimeS += r.Downtime.Seconds()
+		b.DurationS += (r.Bounds.ME - r.Bounds.MS).Seconds()
+	}
+	n := float64(len(runs))
+	b.SourceJ /= n
+	b.TargetJ /= n
+	b.MovedBytes /= n
+	b.Rounds /= n
+	b.DowntimeS /= n
+	b.DurationS /= n
+	return b
+}

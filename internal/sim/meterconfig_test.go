@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterConfigValidate(t *testing.T) {
+	if err := (MeterConfig{}).Validate(); err != nil {
+		t.Fatalf("zero meter config rejected: %v", err)
+	}
+	good := MeterConfig{Period: time.Second, Accuracy: 0.01, NoiseSigma: 0.001}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid meter config rejected: %v", err)
+	}
+	bad := []MeterConfig{
+		{Period: 250 * time.Millisecond}, // not a multiple of Step
+		{Period: -time.Second},
+		{Accuracy: 1.5},
+		{NoiseSigma: -0.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("meter config %+v accepted, want error", c)
+		}
+	}
+}
+
+func TestMeterConfigChangesSamplingCadence(t *testing.T) {
+	base := Scenario{Name: "meter-default", Seed: 42,
+		PreMigration: 11 * time.Second, PostMigration: 6 * time.Second}
+	slow := base
+	slow.Name = "meter-1hz"
+	slow.Meter = MeterConfig{Period: time.Second}
+
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halving the cadence roughly halves the sample count over the same
+	// physical run.
+	nb, ns := len(rb.Source.Samples), len(rs.Source.Samples)
+	if ns >= nb {
+		t.Fatalf("1 Hz meter took %d samples, default 2 Hz took %d: cadence override had no effect", ns, nb)
+	}
+	if ns < nb/2-2 || ns > nb/2+2 {
+		t.Errorf("1 Hz sample count %d not about half of %d", ns, nb)
+	}
+	// The physics underneath is untouched: the migration timeline is
+	// identical under either instrument.
+	if rb.Bounds != rs.Bounds || rb.BytesSent != rs.BytesSent || rb.Rounds != rs.Rounds {
+		t.Errorf("meter cadence changed migration physics: %+v vs %+v", rb.Bounds, rs.Bounds)
+	}
+}

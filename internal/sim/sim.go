@@ -54,8 +54,57 @@ type Scenario struct {
 	PostMigration time.Duration
 	// Migration overrides engine timing/termination defaults when non-zero.
 	Migration migration.Config
+	// Meter overrides the simulated power analysers when non-zero.
+	Meter MeterConfig
 	// Seed pins all stochastic behaviour of the run.
 	Seed int64
+}
+
+// MeterConfig overrides the simulated power analysers' behaviour. The
+// zero value keeps the paper's instruments (2 Hz sampling, 0.3% accuracy
+// band, 0.05% reading jitter), so existing scenarios — and their run-cache
+// identities — are unchanged.
+type MeterConfig struct {
+	// Period is the sampling interval; 0 selects meter.DefaultPeriod.
+	// It must be a positive multiple of the simulation Step.
+	Period time.Duration
+	// Accuracy overrides the instrument's relative accuracy band when > 0.
+	Accuracy float64
+	// NoiseSigma overrides the relative 1σ reading jitter when > 0.
+	NoiseSigma float64
+}
+
+// period returns the effective sampling interval.
+func (m MeterConfig) period() time.Duration {
+	if m.Period <= 0 {
+		return meter.DefaultPeriod
+	}
+	return m.Period
+}
+
+// apply configures a meter with the overrides.
+func (m MeterConfig) apply(mt *meter.Meter) {
+	mt.Period = m.period()
+	if m.Accuracy > 0 {
+		mt.Accuracy = m.Accuracy
+	}
+	if m.NoiseSigma > 0 {
+		mt.NoiseSigma = m.NoiseSigma
+	}
+}
+
+// Validate rejects unusable meter overrides.
+func (m MeterConfig) Validate() error {
+	if m.Period < 0 || (m.Period > 0 && m.Period%Step != 0) {
+		return fmt.Errorf("sim: meter period %v must be a positive multiple of %v", m.Period, Step)
+	}
+	if m.Accuracy < 0 || m.Accuracy >= 1 {
+		return fmt.Errorf("sim: meter accuracy %v outside [0, 1)", m.Accuracy)
+	}
+	if m.NoiseSigma < 0 || m.NoiseSigma >= 1 {
+		return fmt.Errorf("sim: meter noise sigma %v outside [0, 1)", m.NoiseSigma)
+	}
+	return nil
 }
 
 // withDefaults fills unset scenario fields.
@@ -96,7 +145,7 @@ func (s Scenario) Validate() error {
 	if err := s.withDefaults().LoadProfile.Validate(); err != nil {
 		return err
 	}
-	return nil
+	return s.Meter.Validate()
 }
 
 // RunResult is everything one testbed run yields.
@@ -173,6 +222,8 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	srcMeter := meter.New(srcSpec.Name, sc.Seed*7+11)
 	dstMeter := meter.New(dstSpec.Name, sc.Seed*7+13)
+	sc.Meter.apply(srcMeter)
+	sc.Meter.apply(dstMeter)
 	srcFeat := &trace.FeatureTrace{Host: srcSpec.Name}
 	dstFeat := &trace.FeatureTrace{Host: dstSpec.Name}
 
@@ -182,7 +233,7 @@ func Run(sc Scenario) (*RunResult, error) {
 	expected := expectedSteps(sc, srcSpec)
 	srcFeat.Reserve(expected)
 	dstFeat.Reserve(expected)
-	meterSamples := expected/int(meter.DefaultPeriod/Step) + 2
+	meterSamples := expected/int(sc.Meter.period()/Step) + 2
 	srcMeter.Reserve(meterSamples)
 	dstMeter.Reserve(meterSamples)
 
@@ -228,9 +279,10 @@ func Run(sc Scenario) (*RunResult, error) {
 		}
 		netFrac := link.LineFraction(rep.Bandwidth)
 
-		// 5. Meters sample the ground truth. A meter only records every
-		// fifth step (2 Hz against the 100 ms step), so the load assembly
-		// and the TruePower evaluation are skipped between due times.
+		// 5. Meters sample the ground truth. A meter only records at its
+		// sampling period (2 Hz by default against the 100 ms step), so the
+		// load assembly and the TruePower evaluation are skipped between
+		// due times.
 		if now >= srcMeter.NextDue() {
 			srcLoad := src.Load(sa, float64(srcEvents)/Step.Seconds()+copyPagesPerSec, netFrac)
 			srcMeter.Observe(now, srcSpec.TruePower(srcLoad))

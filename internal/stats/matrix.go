@@ -1,9 +1,3 @@
-// Package stats implements the numerical estimation tools the paper's
-// evaluation relies on and which have no Go standard-library equivalent:
-// dense linear algebra (Householder QR), ordinary least squares, damped
-// Gauss-Newton non-linear least squares, the error metrics used in
-// Tables V and VII (MAE, RMSE, NRMSE), and the variance-convergence rule
-// that decides how many experimental runs are enough.
 package stats
 
 import (

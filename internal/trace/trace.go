@@ -1,9 +1,3 @@
-// Package trace represents the time-series data the paper's methodology is
-// built on: instantaneous power samples from the AC-side meters and the
-// aligned resource-utilisation features recorded dstat-style. It provides
-// the numerical operations the evaluation needs — trapezoidal energy
-// integration, migration-phase segmentation, resampling, averaging across
-// repeated runs — plus CSV encoding for the figure data.
 package trace
 
 import (

@@ -1,0 +1,22 @@
+// Package workload implements the benchmark loads of the paper's
+// experimental design (Section V-A): the matrixmult CPU-intensive kernel —
+// here a real, goroutine-parallel matrix multiplication, the Go analogue
+// of the paper's OpenMP C implementation — and the pagedirtier
+// memory-intensive load, plus the load-level staircases that drive the
+// CPULOAD and MEMLOAD experiment families.
+//
+// Two layers live here. The executable kernels (MatrixMult) validate the
+// workload behaviour for real; the declarative Profiles (MatrixMultProfile,
+// PagedirtierProfile, HotColdMemProfile, NetIntensiveProfile, IdleProfile)
+// describe the same workloads to the simulator — CPU demand per vCPU,
+// page-write rate, working-set shape — and instantiate dirtiers
+// (internal/mem) from a seed.
+//
+// Beyond the paper's constant-intensity runs, Phase models time-varying
+// intensity (steady, burst, diurnal, ramp): Phase.Factor evaluates the
+// shape at a position in the phase and Profile.Modulate scales a profile
+// by that factor. The declarative scenario subsystem (internal/scenario)
+// compiles phase timelines into independently runnable migration blocks —
+// "the same service, migrated at night vs at the midday peak". See
+// ARCHITECTURE.md for where this sits in the data flow.
+package workload

@@ -1,9 +1,3 @@
-// Package workload implements the benchmark loads of the paper's
-// experimental design (Section V-A): the matrixmult CPU-intensive kernel —
-// here a real, goroutine-parallel matrix multiplication, the Go analogue
-// of the paper's OpenMP C implementation — and the pagedirtier
-// memory-intensive load, plus the load-level staircases that drive the
-// CPULOAD and MEMLOAD experiment families.
 package workload
 
 import (

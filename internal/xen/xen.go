@@ -1,14 +1,3 @@
-// Package xen models the hypervisor side of the testbed: a host running
-// Xen 4.2.5 with a dom-0, a set of paravirtualised guests, and a
-// credit-scheduler-like CPU arbiter. It implements the paper's Eq. 2,
-//
-//	CPU(h,t) = CPUVMM(V(h,t)) + Σ_{v∈V(h,t)} CPU(v,t) + CPUmigr(h,t),
-//
-// including the saturation behaviour the paper leans on: once aggregate
-// demand exceeds the machine's thread count, allocations are scaled down
-// proportionally ("multiplexing") and total host CPU — hence power — goes
-// flat, while the migration helper's share shrinks and with it the
-// achievable transfer bandwidth.
 package xen
 
 import (
