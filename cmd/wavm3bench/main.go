@@ -23,12 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/migration"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -37,13 +37,11 @@ var artefactOrder = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ta
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "reduced sweeps and repeats")
-		only      = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		workers   = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
-		benchjson = flag.String("benchjson", "", "write machine-readable timing and cache metrics to this path")
-		nocache   = flag.Bool("nocache", false, "disable the cross-campaign run cache (results identical, only slower)")
+		quick = flag.Bool("quick", false, "reduced sweeps and repeats")
+		only  = flag.String("only", "", "comma-separated artefacts (fig2..fig7, table3..table7); empty = all")
+		seed  = flag.Int64("seed", 1, "campaign seed")
 	)
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -58,17 +56,14 @@ func main() {
 		}
 	}
 
-	var cache *sim.Cache
-	if !*nocache {
-		cache = sim.NewCache(0)
-	}
+	cache := common.Cache()
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
-	mcfg.Workers = *workers
+	mcfg.Workers = common.Workers
 	mcfg.Cache = cache
 	ocfg := experiments.DefaultConfig(hw.PairO)
 	ocfg.Seed = *seed + 1000
-	ocfg.Workers = *workers
+	ocfg.Workers = common.Workers
 	ocfg.Cache = cache
 	if *quick {
 		for _, c := range []*experiments.Config{&mcfg, &ocfg} {
@@ -79,10 +74,9 @@ func main() {
 		}
 	}
 
-	perf := report.NewBenchReport("wavm3bench")
+	perf := common.NewBenchReport("wavm3bench")
 	perf.Quick = *quick
 	perf.Seed = *seed
-	perf.Workers = *workers
 	started := time.Now()
 	timed := func(id string, f func()) {
 		t0 := time.Now()
@@ -227,18 +221,8 @@ func main() {
 		}
 	}
 
-	perf.TotalSeconds = time.Since(started).Seconds()
-	perf.CacheHits, perf.CacheMisses = cache.Stats()
-	perf.CacheEntries = cache.Len()
-	if cache != nil {
-		fmt.Fprintf(os.Stderr, "wavm3bench: run cache: %d hits, %d misses, %d entries\n",
-			perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
-	}
-	if *benchjson != "" {
-		if err := perf.WriteJSONFile(*benchjson); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wavm3bench: wrote timing metrics to %s\n", *benchjson)
+	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wavm3bench: done in %v\n", time.Since(started).Round(time.Second))
 }

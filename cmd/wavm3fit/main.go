@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/migration"
@@ -22,16 +24,18 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "trim sweeps and repeats for a fast demonstration")
-		runs    = flag.Int("runs", 0, "override repeats per point (0 = 10, or 2 with -quick)")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
+		quick = flag.Bool("quick", false, "trim sweeps and repeats for a fast demonstration")
+		runs  = flag.Int("runs", 0, "override repeats per point (0 = 10, or 2 with -quick)")
+		seed  = flag.Int64("seed", 1, "campaign seed")
 	)
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	cache := common.Cache()
 	cfg := experiments.DefaultConfig(hw.PairM)
 	cfg.Seed = *seed
-	cfg.Workers = *workers
+	cfg.Workers = common.Workers
+	cfg.Cache = cache
 	if *quick {
 		cfg.MinRuns = 2
 		cfg.VarianceTol = 0.9
@@ -41,18 +45,27 @@ func main() {
 	if *runs > 0 {
 		cfg.MinRuns = *runs
 	}
+	perf := common.NewBenchReport("wavm3fit")
+	perf.Quick = *quick
+	perf.Seed = *seed
+	started := time.Now()
 
 	fmt.Fprintln(os.Stderr, "wavm3fit: running campaign (CPULOAD-SOURCE, CPULOAD-TARGET, MEMLOAD-VM)...")
+	t0 := time.Now()
 	camp, err := experiments.RunCampaign(cfg,
 		experiments.CPULoadSource, experiments.CPULoadTarget, experiments.MemLoadVM)
 	if err != nil {
 		fatal(err)
 	}
+	perf.Add("campaign", time.Since(t0))
+	t0 = time.Now()
 	suite, err := experiments.BuildSuite(camp, nil)
 	if err != nil {
 		fatal(err)
 	}
+	perf.Add("training", time.Since(t0))
 
+	t0 = time.Now()
 	for _, kind := range []migration.Kind{migration.NonLive, migration.Live} {
 		ct, err := suite.CoefficientTable(kind)
 		if err != nil {
@@ -69,6 +82,11 @@ func main() {
 		fatal(err)
 	}
 	if err := report.BaselineTable(t6).Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	perf.Add("tables", time.Since(t0))
+
+	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
 		fatal(err)
 	}
 }

@@ -1,7 +1,9 @@
 // Command wavm3scen runs declarative scenarios from the scenario library
 // (scenarios/*.json) on the simulated testbed: single migrations, phased
-// workload timelines (each phase an independently runnable block) and
-// data-centre plans executed move by move as measured migrations.
+// workload timelines (each phase an independently runnable block),
+// data-centre plans executed move by move as measured migrations, and
+// N-host cluster timelines evolved through policy ticks, contended
+// links and workload phase transitions.
 //
 // Output on stdout is deterministic: the same scenario files produce
 // bit-identical results across runs, worker counts and cache settings
@@ -24,8 +26,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
-	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -33,13 +35,11 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "run every *.json scenario in this directory")
-		check     = flag.Bool("check", false, "load, validate and compile the scenarios, run nothing (CI round-trip gate)")
-		list      = flag.Bool("list", false, "print the scenario catalog and exit")
-		workers   = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
-		nocache   = flag.Bool("nocache", false, "disable the run cache (results identical, only slower)")
-		benchjson = flag.String("benchjson", "", "write machine-readable timing and cache metrics to this path")
+		dir   = flag.String("dir", "", "run every *.json scenario in this directory")
+		check = flag.Bool("check", false, "load, validate and compile the scenarios, run nothing (CI round-trip gate)")
+		list  = flag.Bool("list", false, "print the scenario catalog and exit")
 	)
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *dir == "" && flag.NArg() == 0 {
@@ -57,9 +57,12 @@ func main() {
 		}
 		for _, in := range infos {
 			form := "migration"
-			if in.Datacenter {
+			switch {
+			case in.Datacenter:
 				form = "datacenter"
-			} else if in.Phases > 0 {
+			case in.Cluster > 0:
+				form = fmt.Sprintf("cluster, %d hosts", in.Cluster)
+			case in.Phases > 0:
 				form = fmt.Sprintf("migration, %d phases", in.Phases)
 			}
 			fmt.Printf("%-24s (%s)\n    %s\n", in.Name, form, in.Description)
@@ -78,45 +81,37 @@ func main() {
 	}
 	if *check {
 		for i, c := range compiled {
-			blocks := len(c.Runs)
-			if c.Plan != nil {
-				blocks = len(c.Plan.Plan.Moves)
+			switch {
+			case c.Cluster != nil:
+				fmt.Printf("ok %-24s cluster: %d host(s)\n", specs[i].Name, len(c.Cluster.Config.Hosts))
+			case c.Plan != nil:
+				fmt.Printf("ok %-24s %d block(s)\n", specs[i].Name, len(c.Plan.Plan.Moves))
+			default:
+				fmt.Printf("ok %-24s %d block(s)\n", specs[i].Name, len(c.Runs))
 			}
-			fmt.Printf("ok %-24s %d block(s)\n", specs[i].Name, blocks)
 		}
 		return
 	}
 
-	var cache *sim.Cache
-	if !*nocache {
-		cache = sim.NewCache(0)
-	}
-	perf := report.NewBenchReport("wavm3scen")
-	perf.Workers = *workers
+	cache := common.Cache()
+	perf := common.NewBenchReport("wavm3scen")
 	started := time.Now()
 
 	for i, c := range compiled {
 		t0 := time.Now()
-		if c.Plan != nil {
-			execPlan(specs[i], c.Plan, *workers, cache)
-		} else {
-			execRuns(specs[i], c.Runs, *workers, cache)
+		switch {
+		case c.Cluster != nil:
+			execCluster(specs[i], c.Cluster, common.Workers, cache)
+		case c.Plan != nil:
+			execPlan(specs[i], c.Plan, common.Workers, cache)
+		default:
+			execRuns(specs[i], c.Runs, common.Workers, cache)
 		}
 		perf.Add(specs[i].Name, time.Since(t0))
 	}
 
-	perf.TotalSeconds = time.Since(started).Seconds()
-	perf.CacheHits, perf.CacheMisses = cache.Stats()
-	perf.CacheEntries = cache.Len()
-	if cache != nil {
-		fmt.Fprintf(os.Stderr, "wavm3scen: run cache: %d hits, %d misses, %d entries\n",
-			perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
-	}
-	if *benchjson != "" {
-		if err := perf.WriteJSONFile(*benchjson); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wavm3scen: wrote timing metrics to %s\n", *benchjson)
+	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wavm3scen: %d scenario(s) in %v\n", len(specs), time.Since(started).Round(time.Millisecond))
 }
@@ -211,6 +206,40 @@ func execPlan(s *scenario.Spec, pr *scenario.PlanRun, workers int, cache *sim.Ca
 	}
 	fmt.Printf("   total %d move(s)  %8.3f kJ  %6.1fs\n",
 		len(rep.Moves), rep.Total.KiloJoules(), rep.Elapsed.Seconds())
+}
+
+// execCluster executes an N-host cluster timeline: ticks, phase shifts
+// and migrations are printed as deterministic sections, every energy
+// contention-adjusted.
+func execCluster(s *scenario.Spec, cr *scenario.ClusterRun, workers int, cache *sim.Cache) {
+	fmt.Printf("== %s (cluster: %d hosts, %s)\n", s.Name, len(cr.Config.Hosts), cr.Policy)
+	rep, err := experiments.RunCluster(experiments.Config{Workers: workers, Cache: cache}, cr.Config)
+	if err != nil {
+		fatal(err)
+	}
+	for _, tick := range rep.Ticks {
+		fmt.Printf("   tick  t=%9.1fs  planned %2d move(s)  %d in flight\n",
+			tick.At.Seconds(), tick.Moves, tick.Pinned)
+	}
+	for _, sh := range rep.Shifts {
+		next := sh.Phase
+		if next == "" {
+			next = "(hold)"
+		}
+		fmt.Printf("   shift t=%9.1fs  %s enters %s\n", sh.At.Seconds(), sh.VM, next)
+	}
+	for _, mv := range rep.Timeline {
+		fmt.Printf("   move  %-12s %-10s -> %-10s [%-9s] t=%9.1fs ..%9.1fs  x%4.2f  %9.3f kJ  %6.2f GiB\n",
+			mv.VM, mv.From, mv.To, mv.Pair,
+			mv.Start.Seconds(), mv.End.Seconds(), mv.Stretch,
+			mv.Energy.KiloJoules(), float64(mv.BytesSent)/float64(units.GiB))
+	}
+	if len(rep.FreedHosts) > 0 {
+		fmt.Printf("   freed %s  (%.0f W idle reclaimed)\n",
+			strings.Join(rep.FreedHosts, ", "), float64(rep.IdleSavings))
+	}
+	fmt.Printf("   total %d move(s)  %9.3f kJ  makespan %9.1fs\n",
+		len(rep.Timeline), rep.TotalEnergy.KiloJoules(), rep.Makespan.Seconds())
 }
 
 func fatal(err error) {

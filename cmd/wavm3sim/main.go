@@ -15,7 +15,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/report"
@@ -24,27 +26,34 @@ import (
 
 func main() {
 	var (
-		family  = flag.String("family", "CPULOAD-SOURCE", "experiment family: CPULOAD-SOURCE, CPULOAD-TARGET, MEMLOAD-VM, MEMLOAD-SOURCE, MEMLOAD-TARGET")
-		pair    = flag.String("pair", hw.PairM, "machine pair: m01-m02 or o1-o2")
-		runs    = flag.Int("runs", 3, "minimum repeats per experimental point")
-		quick   = flag.Bool("quick", false, "sweep only the extreme load/dirty levels")
-		csvDir  = flag.String("csv", "", "directory to write per-series CSV trace files (optional)")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", 0, "concurrent experimental points (0 = all CPUs, 1 = sequential; results identical)")
+		family = flag.String("family", "CPULOAD-SOURCE", "experiment family: CPULOAD-SOURCE, CPULOAD-TARGET, MEMLOAD-VM, MEMLOAD-SOURCE, MEMLOAD-TARGET")
+		pair   = flag.String("pair", hw.PairM, "machine pair: m01-m02 or o1-o2")
+		runs   = flag.Int("runs", 3, "minimum repeats per experimental point")
+		quick  = flag.Bool("quick", false, "sweep only the extreme load/dirty levels")
+		csvDir = flag.String("csv", "", "directory to write per-series CSV trace files (optional)")
+		seed   = flag.Int64("seed", 1, "campaign seed")
 	)
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed, Workers: *workers}
+	cache := common.Cache()
+	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed, Workers: common.Workers, Cache: cache}
 	if *quick {
 		cfg.LoadLevels = []int{0, 8}
 		cfg.DirtyLevels = []units.Fraction{0.05, 0.95}
 	}
+	perf := common.NewBenchReport("wavm3sim")
+	perf.Quick = *quick
+	perf.Seed = *seed
+	started := time.Now()
 
 	f := experiments.Family(*family)
+	t0 := time.Now()
 	prs, err := experiments.RunFamily(cfg, f)
 	if err != nil {
 		fatal(err)
 	}
+	perf.Add(string(f), time.Since(t0))
 	fig, err := experiments.FamilyFigure(f, prs)
 	if err != nil {
 		fatal(err)
@@ -61,6 +70,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+
+	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
 	}
 
 	if *csvDir != "" {

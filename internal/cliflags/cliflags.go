@@ -1,0 +1,78 @@
+// Package cliflags wires the simulation-driving flags every command
+// shares — -workers, -nocache and -benchjson — so the binaries stay in
+// flag parity by construction instead of by copy-paste. A command
+// registers the common set next to its own flags, builds the session
+// cache from it, and finishes its benchmark report through it.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Common is the shared flag set of the simulation commands.
+type Common struct {
+	// Workers bounds the session's concurrency (0 = all CPUs,
+	// 1 = sequential; results identical for every value).
+	Workers int
+	// NoCache disables the cross-campaign run cache (results identical,
+	// only slower).
+	NoCache bool
+	// BenchJSON, when non-empty, is where the machine-readable timing
+	// and cache metrics go.
+	BenchJSON string
+}
+
+// Register binds the common flags on the given FlagSet (the default
+// command line via flag.CommandLine).
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Workers, "workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
+	fs.BoolVar(&c.NoCache, "nocache", false, "disable the run cache (results identical, only slower)")
+	fs.StringVar(&c.BenchJSON, "benchjson", "", "write machine-readable timing and cache metrics to this path")
+	return c
+}
+
+// Cache builds the session run cache: nil when -nocache was given,
+// which every consumer treats as uncached execution.
+func (c *Common) Cache() *sim.Cache {
+	if c.NoCache {
+		return nil
+	}
+	return sim.NewCache(0)
+}
+
+// NewBenchReport starts a benchmark report for the named tool with the
+// session's worker setting recorded.
+func (c *Common) NewBenchReport(tool string) *report.BenchReport {
+	perf := report.NewBenchReport(tool)
+	perf.Workers = c.Workers
+	return perf
+}
+
+// Finish seals a benchmark report — total wall clock since started,
+// the cache's hit/miss/entry counters — then logs the cache statistics
+// to w (when a cache was in use) and writes the report to -benchjson
+// (when requested). The returned error is a benchjson write failure.
+func (c *Common) Finish(w io.Writer, perf *report.BenchReport, cache *sim.Cache, started time.Time) error {
+	perf.TotalSeconds = time.Since(started).Seconds()
+	perf.CacheHits, perf.CacheMisses = cache.Stats()
+	perf.CacheEntries = cache.Len()
+	if cache != nil {
+		fmt.Fprintf(w, "%s: run cache: %d hits, %d misses, %d entries\n",
+			perf.Tool, perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
+	}
+	if c.BenchJSON == "" {
+		return nil
+	}
+	if err := perf.WriteJSONFile(c.BenchJSON); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: wrote timing metrics to %s\n", perf.Tool, c.BenchJSON)
+	return nil
+}

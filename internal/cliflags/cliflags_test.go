@@ -1,0 +1,71 @@
+package cliflags
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+func TestRegisterParses(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-workers", "3", "-nocache", "-benchjson", "p.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 3 || !c.NoCache || c.BenchJSON != "p.json" {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.Cache() != nil {
+		t.Error("-nocache must yield a nil cache")
+	}
+	c.NoCache = false
+	if c.Cache() == nil {
+		t.Error("default must yield a cache")
+	}
+}
+
+func TestFinishWritesBenchJSON(t *testing.T) {
+	c := &Common{Workers: 2, BenchJSON: filepath.Join(t.TempDir(), "perf.json")}
+	perf := c.NewBenchReport("tool-x")
+	if perf.Workers != 2 {
+		t.Errorf("workers not recorded: %+v", perf)
+	}
+	perf.Add("stage", time.Second)
+	cache := c.Cache()
+	var log bytes.Buffer
+	if err := c.Finish(&log, perf, cache, time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if perf.TotalSeconds <= 0 {
+		t.Error("total not sealed")
+	}
+	if !strings.Contains(log.String(), "tool-x: run cache:") {
+		t.Errorf("cache stats not logged: %q", log.String())
+	}
+	got, err := report.ReadBenchReport(c.BenchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "tool-x" || len(got.Artefacts) != 1 {
+		b, _ := json.Marshal(got)
+		t.Errorf("round-tripped report: %s", b)
+	}
+}
+
+func TestFinishNilCacheSilent(t *testing.T) {
+	c := &Common{NoCache: true}
+	perf := c.NewBenchReport("t")
+	var log bytes.Buffer
+	if err := c.Finish(&log, perf, c.Cache(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(log.String(), "run cache") {
+		t.Errorf("nil cache logged stats: %q", log.String())
+	}
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkClusterTimeline measures a full 8-host policy-driven
+// timeline: four planning rounds, every planned migration lowered to
+// the kernel and answered through a shared run cache. It is the
+// cluster-layer companion to the campaign benchmarks in bench_test.go
+// at the repo root and runs in the CI bench smoke.
+func BenchmarkClusterTimeline(b *testing.B) {
+	cache := sim.NewCache(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := policyFleet()
+		cfg.Cache = cache
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Timeline) == 0 {
+			b.Fatal("timeline ran no migrations")
+		}
+	}
+}
+
+// BenchmarkClusterTimelineUncached is the same timeline without the run
+// cache: the cost of simulating every migration fresh.
+func BenchmarkClusterTimelineUncached(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(policyFleet()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

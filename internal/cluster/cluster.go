@@ -1,0 +1,389 @@
+// Package cluster generalises the two-host testbed into an N-host
+// discrete-event data-centre simulator. A cluster is a population of
+// hosts built from hw catalog machine models, each running VMs whose
+// workload intensity may follow a phased timeline (steady, burst,
+// diurnal, ramp). The engine advances a continuous timeline through
+// three event kinds:
+//
+//   - policy ticks: a consolidation.Policy re-plans against the current
+//     state, with in-flight migrations pinned and their destination
+//     capacity reserved;
+//   - migration start/finish: every started migration is lowered to a
+//     full two-host simulation on the sim kernel (answered through the
+//     run cache), which supplies its measured energy, byte volume and
+//     phase spans;
+//   - workload phase transitions: VM intensity changes that the next
+//     snapshot — and therefore the next planning round and the next
+//     lowered scenario — observe.
+//
+// Concurrent migrations whose endpoints hang off the same switch share
+// the migration path: the transfer phase of each flight progresses at
+// 1/n of its intrinsic rate while n transfers co-occupy the link
+// (equal-share processor sharing), so a drain that fires ten moves at
+// once measurably contends instead of executing as ten free lunches.
+// The per-flight stretch is reported, and the transfer-phase energy is
+// scaled by it (transfer power is sustained for stretch times longer).
+//
+// Topology enters the run-cache key naturally: a lowered scenario's
+// Pair field is the source/target machine-model pair ("m01/h1"), which
+// is part of sim.Scenario and therefore of the cache identity — two
+// host pairs of identical models with identical loads share one
+// simulation, two different model pairs never do.
+//
+// Everything is deterministic: hosts and VMs are iterated in sorted
+// order, every migration's seed derives from its global dispatch index,
+// and batches fan out through internal/parallel's ordered collection —
+// the report is bit-identical for every worker count and cache setting.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/hw"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// VM is one guest of the cluster: its footprint plus an optional
+// intensity timeline.
+type VM struct {
+	// Name uniquely identifies the VM across the whole cluster.
+	Name string
+	// MemBytes is the memory image a migration must move.
+	MemBytes units.Bytes
+	// BusyVCPUs is the baseline CPU demand in busy-vCPU units.
+	BusyVCPUs float64
+	// DirtyRatio is the baseline steady-state memory dirtying ratio.
+	DirtyRatio units.Fraction
+	// Phases optionally modulates the baseline over cluster time: the
+	// VM's effective demand and dirtying scale with the phase factor at
+	// each instant. After the timeline ends the final factor holds.
+	Phases []workload.Phase
+}
+
+// Validate rejects malformed VM descriptors.
+func (v VM) Validate() error {
+	switch {
+	case v.Name == "":
+		return errors.New("cluster: VM has no name")
+	case v.MemBytes <= 0:
+		return fmt.Errorf("cluster: VM %s has no memory", v.Name)
+	case v.BusyVCPUs < 0:
+		return fmt.Errorf("cluster: VM %s has negative CPU demand", v.Name)
+	case v.DirtyRatio < 0 || v.DirtyRatio > 1:
+		return fmt.Errorf("cluster: VM %s dirty ratio %v outside [0,1]", v.Name, v.DirtyRatio)
+	}
+	for i, p := range v.Phases {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("cluster: VM %s phase %d: %w", v.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// factor evaluates the VM's intensity at cluster time t: the phase
+// timeline is walked front to back, and the final factor holds once the
+// timeline is exhausted. VMs without phases run at factor 1.
+func (v VM) factor(t time.Duration) float64 {
+	if len(v.Phases) == 0 {
+		return 1
+	}
+	off := t
+	for _, p := range v.Phases {
+		if off < p.Duration {
+			return p.Factor(float64(off) / float64(p.Duration))
+		}
+		off -= p.Duration
+	}
+	return v.Phases[len(v.Phases)-1].Factor(1)
+}
+
+// busyAt returns the VM's CPU demand at cluster time t.
+func (v VM) busyAt(t time.Duration) float64 {
+	return v.BusyVCPUs * v.factor(t)
+}
+
+// dirtyAt returns the VM's dirty ratio at cluster time t, clamped to a
+// physical fraction.
+func (v VM) dirtyAt(t time.Duration) units.Fraction {
+	return units.Fraction(float64(v.DirtyRatio) * v.factor(t)).Clamp()
+}
+
+// Host is one physical machine of the cluster.
+type Host struct {
+	// Name identifies the host.
+	Name string
+	// Machine names the hw catalog model this host is an instance of; it
+	// supplies capacity, idle power and the switch the host hangs off.
+	// Required unless Config.Pair overrides lowering and the explicit
+	// capacity fields below are set.
+	Machine string
+	// Threads, MemBytes and IdlePower override (or, without a Machine,
+	// supply) the host capacity and the idle draw reclaimed by emptying
+	// the host.
+	Threads   int
+	MemBytes  units.Bytes
+	IdlePower units.Watts
+	// Switch overrides the link domain; hosts on one switch share the
+	// migration path and contend. Defaults to the machine's switch.
+	Switch string
+	// VMs are the initially resident guests.
+	VMs []VM
+}
+
+// resolved is a host with its machine-derived fields filled in.
+type resolved struct {
+	Host
+	sw string // effective link domain
+}
+
+// resolve fills the host's capacity fields from its machine model and
+// validates the result.
+func (h Host) resolve() (resolved, error) {
+	out := resolved{Host: h}
+	if h.Name == "" {
+		return out, errors.New("cluster: host has no name")
+	}
+	if h.Machine != "" {
+		spec, ok := hw.Catalog()[h.Machine]
+		if !ok {
+			return out, fmt.Errorf("cluster: host %s: unknown machine model %q", h.Name, h.Machine)
+		}
+		if out.Threads == 0 {
+			out.Threads = spec.Threads
+		}
+		if out.MemBytes == 0 {
+			out.MemBytes = spec.RAM
+		}
+		if out.IdlePower == 0 {
+			out.IdlePower = spec.IdlePower()
+		}
+		if out.Switch == "" {
+			out.Switch = spec.Switch
+		}
+	}
+	out.sw = out.Switch
+	if out.sw == "" {
+		out.sw = "switch0"
+	}
+	switch {
+	case out.Threads <= 0:
+		return out, fmt.Errorf("cluster: host %s has no CPU capacity (set Machine or Threads)", h.Name)
+	case out.MemBytes <= 0:
+		return out, fmt.Errorf("cluster: host %s has no memory (set Machine or MemBytes)", h.Name)
+	case out.IdlePower <= 0:
+		return out, fmt.Errorf("cluster: host %s has no idle power (set Machine or IdlePower)", h.Name)
+	}
+	seen := map[string]bool{}
+	for _, v := range h.VMs {
+		if err := v.Validate(); err != nil {
+			return out, err
+		}
+		if seen[v.Name] {
+			return out, fmt.Errorf("cluster: duplicate VM %q on host %s", v.Name, h.Name)
+		}
+		seen[v.Name] = true
+	}
+	return out, nil
+}
+
+// TimedMove is one explicit migration of a cluster timeline.
+type TimedMove struct {
+	VM, From, To string
+	// At is the dispatch instant. Moves sharing an instant start
+	// concurrently and contend on shared links.
+	At time.Duration
+}
+
+// Config describes one cluster timeline.
+type Config struct {
+	// Hosts is the cluster population.
+	Hosts []Host
+	// Kind is the migration mechanism for every move (Live or NonLive).
+	Kind migration.Kind
+	// Pair optionally lowers every move onto one fixed testbed pair
+	// instead of the per-host machine models — the two-host
+	// approximation dcsim's compatibility wrapper uses. When empty, each
+	// move's pair is "srcMachine/dstMachine".
+	Pair string
+	// Policy re-plans the cluster at every tick; nil disables planning
+	// (the timeline then runs the explicit Moves).
+	Policy consolidation.Policy
+	// PolicyConfig bounds each planning round. The engine adds the
+	// in-flight pins itself.
+	PolicyConfig consolidation.Config
+	// Tick is the re-planning period (required with a Policy).
+	Tick time.Duration
+	// Horizon bounds the observed timeline: ticks fire at 0, Tick,
+	// 2·Tick, … strictly below it, and phase transitions are recorded up
+	// to it. Migrations started before the horizon always run to
+	// completion, even past it.
+	Horizon time.Duration
+	// Moves is the explicit migration timeline (mutually exclusive with
+	// Policy).
+	Moves []TimedMove
+	// Serial chains the explicit moves back to back — each move starts
+	// when the previous one lands, with the state evolved in between —
+	// reproducing the two-host executor's one-at-a-time semantics. It
+	// requires every move's At to be zero and no VM phases.
+	Serial bool
+	// Seed derives every migration's simulation seed (dispatch index i
+	// uses Seed + i·607, the two-host executor's stride).
+	Seed int64
+	// Workers bounds how many migration simulations run concurrently
+	// (0 = NumCPU, 1 = sequential). Results are bit-identical for every
+	// value.
+	Workers int
+	// Cache optionally memoizes migration simulations (see sim.NewCache).
+	Cache *sim.Cache
+}
+
+// Validate rejects unusable configurations. It is called by Run; callers
+// that assemble configs from external data (scenario files) call it
+// directly for early, pathed errors.
+func (c Config) Validate() error {
+	if len(c.Hosts) == 0 {
+		return errors.New("cluster: no hosts")
+	}
+	if c.Kind != migration.Live && c.Kind != migration.NonLive {
+		return fmt.Errorf("cluster: unsupported migration kind %v (want live or non-live)", c.Kind)
+	}
+	if c.Pair != "" {
+		src, dst, err := hw.Pair(c.Pair)
+		if err != nil {
+			return err
+		}
+		// Every move lowers onto this one pair, so it must be physically
+		// linkable or no move can ever simulate.
+		if src.Switch != dst.Switch {
+			return fmt.Errorf("cluster: pair %q spans switches %q and %q and cannot migrate", c.Pair, src.Switch, dst.Switch)
+		}
+	}
+	names := map[string]bool{}
+	switches := map[string]string{} // declared link-contention domain
+	physical := map[string]string{} // the machine model's physical switch
+	vms := map[string]bool{}
+	for _, h := range c.Hosts {
+		r, err := h.resolve()
+		if err != nil {
+			return err
+		}
+		if c.Pair == "" && h.Machine == "" {
+			return fmt.Errorf("cluster: host %s needs a machine model (or set Config.Pair to lower every move onto one testbed pair)", h.Name)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("cluster: duplicate host %q", r.Name)
+		}
+		names[r.Name] = true
+		switches[r.Name] = r.sw
+		// A Switch override changes the contention domain, not the
+		// physics: without a Pair override, a move still simulates on the
+		// machine models, whose catalog switches netsim enforces. Track
+		// them separately so an override cannot smuggle an unlinkable
+		// pair past the reachability guards below.
+		physical[r.Name] = r.sw
+		if c.Pair == "" {
+			physical[r.Name] = hw.Catalog()[h.Machine].Switch
+		}
+		for _, v := range h.VMs {
+			if vms[v.Name] {
+				return fmt.Errorf("cluster: VM %q appears on two hosts", v.Name)
+			}
+			vms[v.Name] = true
+			if c.Serial && len(v.Phases) > 0 {
+				return fmt.Errorf("cluster: VM %q has phases; serial timelines are time-invariant", v.Name)
+			}
+			// Policy snapshots name in-flight destination reservations
+			// "<vm>+incoming" in the same namespace as real VMs; a real VM
+			// wearing that suffix would silently alias a reservation (and
+			// its pin).
+			if c.Policy != nil && strings.HasSuffix(v.Name, "+incoming") {
+				return fmt.Errorf("cluster: VM name %q ends in \"+incoming\", which is reserved for in-flight reservations in policy timelines", v.Name)
+			}
+		}
+	}
+	if c.Policy != nil {
+		switch {
+		case len(c.Moves) > 0:
+			return errors.New("cluster: a policy and explicit moves are mutually exclusive")
+		case c.Serial:
+			return errors.New("cluster: serial execution needs an explicit move list, not a policy")
+		case c.Tick <= 0:
+			return errors.New("cluster: a policy needs a positive tick period")
+		case c.Horizon <= 0:
+			return errors.New("cluster: a policy needs a positive horizon")
+		case len(c.Hosts) < 2:
+			return errors.New("cluster: planning needs at least two hosts")
+		}
+		// The built-in policies are topology-blind: on a mixed-switch
+		// population they would eventually plan a cross-switch move and
+		// abort the whole timeline mid-run. Refuse up front — for the
+		// declared domains and the physical ones alike; cross-switch
+		// routing is a planned extension (see ROADMAP).
+		for _, domain := range []map[string]string{switches, physical} {
+			first := domain[c.Hosts[0].Name]
+			for _, h := range c.Hosts[1:] {
+				if sw := domain[h.Name]; sw != first {
+					return fmt.Errorf("cluster: policy-driven timelines need all hosts on one switch; %s is on %q, %s on %q",
+						c.Hosts[0].Name, first, h.Name, sw)
+				}
+			}
+		}
+	}
+	dispatched := map[string]map[time.Duration]bool{} // VM -> dispatch instants
+	for i, m := range c.Moves {
+		switch {
+		case m.VM == "":
+			return fmt.Errorf("cluster: move %d has no VM", i)
+		case dispatched[m.VM][m.At]:
+			return fmt.Errorf("cluster: move %d dispatches VM %q twice at %v", i, m.VM, m.At)
+		case !vms[m.VM]:
+			return fmt.Errorf("cluster: move %d references unknown VM %q", i, m.VM)
+		case !names[m.From]:
+			return fmt.Errorf("cluster: move %d references unknown host %q", i, m.From)
+		case !names[m.To]:
+			return fmt.Errorf("cluster: move %d references unknown host %q", i, m.To)
+		case m.From == m.To:
+			return fmt.Errorf("cluster: move %d does not change hosts (%q)", i, m.From)
+		case m.At < 0:
+			return fmt.Errorf("cluster: move %d starts before the timeline (%v)", i, m.At)
+		case c.Serial && m.At != 0:
+			return fmt.Errorf("cluster: move %d has a start time; serial timelines derive their own", i)
+		case switches[m.From] != switches[m.To]:
+			return fmt.Errorf("cluster: move %d has no migration path from %s (%s) to %s (%s): different switches",
+				i, m.From, switches[m.From], m.To, switches[m.To])
+		case physical[m.From] != physical[m.To]:
+			return fmt.Errorf("cluster: move %d has no physical migration path from %s (machine switch %q) to %s (machine switch %q)",
+				i, m.From, physical[m.From], m.To, physical[m.To])
+		}
+		if dispatched[m.VM] == nil {
+			dispatched[m.VM] = map[time.Duration]bool{}
+		}
+		dispatched[m.VM][m.At] = true
+	}
+	return nil
+}
+
+// sortedHosts returns the resolved hosts in name order.
+func (c Config) sortedHosts() ([]*resolved, error) {
+	out := make([]*resolved, 0, len(c.Hosts))
+	for _, h := range c.Hosts {
+		r, err := h.resolve()
+		if err != nil {
+			return nil, err
+		}
+		r.VMs = append([]VM(nil), h.VMs...)
+		sort.Slice(r.VMs, func(i, j int) bool { return r.VMs[i].Name < r.VMs[j].Name })
+		rr := r
+		out = append(out, &rr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,594 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// seedStride separates the derived seeds of a timeline's migrations; it
+// is the two-host executor's historical stride, which keeps the lowered
+// scenarios — and therefore the run-cache keys and golden outputs — of
+// wrapped two-host plans unchanged.
+const seedStride = 607
+
+// hostRT is a host's runtime state: its resolved spec plus the resident
+// guests, kept in name order for deterministic iteration.
+type hostRT struct {
+	*resolved
+	vms []*vmRT
+}
+
+// vmRT is a guest's runtime state.
+type vmRT struct {
+	VM
+	host      *hostRT
+	migrating bool
+}
+
+// busyAtExcluding sums the host's CPU demand at time t, leaving out one
+// guest (the one about to migrate). Guests are summed in name order so
+// the result is reproducible.
+func (h *hostRT) busyAtExcluding(t time.Duration, skip *vmRT) float64 {
+	s := 0.0
+	for _, v := range h.vms {
+		if v == skip {
+			continue
+		}
+		s += v.busyAt(t)
+	}
+	return s
+}
+
+// Flight lifecycle: the fixed-span initiation head, the link-shared
+// transfer, the fixed-span activation tail.
+const (
+	fHead = iota
+	fTransfer
+	fTail
+)
+
+// flight is one in-progress migration on the cluster timeline.
+type flight struct {
+	idx      int
+	vm       *vmRT
+	from, to *hostRT
+	sw       string
+	pair     string
+	run      *sim.RunResult
+
+	state            int
+	start            time.Duration
+	headEnd          time.Duration
+	work             time.Duration // remaining intrinsic transfer time
+	intrinsic        time.Duration // total intrinsic transfer time
+	tailSpan         time.Duration
+	transferEnd, end time.Duration
+}
+
+// indexedRec pairs a finished migration record with its dispatch index
+// so the report can list the timeline in dispatch order.
+type indexedRec struct {
+	idx int
+	rec MigrationRecord
+}
+
+type engine struct {
+	cfg     Config
+	hosts   []*hostRT
+	byName  map[string]*hostRT
+	vms     map[string]*vmRT
+	now     time.Duration
+	tick    time.Duration
+	pending []TimedMove
+	shifts  []PhaseShift
+	si      int
+	flights []*flight
+	nextIdx int
+	recs    []indexedRec
+	rep     *Report
+}
+
+// Run executes one cluster timeline to completion and returns its
+// report. The result is bit-identical across runs, worker counts and
+// cache settings.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Serial {
+		return e.runSerial()
+	}
+	return e.run()
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	hosts, err := cfg.sortedHosts()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:    cfg,
+		byName: make(map[string]*hostRT, len(hosts)),
+		vms:    make(map[string]*vmRT),
+		rep:    &Report{},
+	}
+	for _, r := range hosts {
+		h := &hostRT{resolved: r}
+		for _, v := range r.VMs {
+			vr := &vmRT{VM: v, host: h}
+			h.vms = append(h.vms, vr)
+			e.vms[v.Name] = vr
+		}
+		e.hosts = append(e.hosts, h)
+		e.byName[h.Name] = h
+	}
+	// Explicit moves dispatch in (At, spec order); the stable sort keeps
+	// same-instant moves in the order the author wrote them.
+	e.pending = append([]TimedMove(nil), cfg.Moves...)
+	sort.SliceStable(e.pending, func(i, j int) bool { return e.pending[i].At < e.pending[j].At })
+	// Phase transitions inside the horizon, as observable events.
+	if cfg.Horizon > 0 {
+		for _, h := range e.hosts {
+			for _, v := range h.vms {
+				cum := time.Duration(0)
+				for i, p := range v.Phases {
+					cum += p.Duration
+					if cum >= cfg.Horizon {
+						break
+					}
+					next := ""
+					if i+1 < len(v.Phases) {
+						next = phaseLabel(v.Phases[i+1], i+1)
+					}
+					e.shifts = append(e.shifts, PhaseShift{At: cum, VM: v.Name, Phase: next})
+				}
+			}
+		}
+		sort.SliceStable(e.shifts, func(i, j int) bool {
+			if e.shifts[i].At != e.shifts[j].At {
+				return e.shifts[i].At < e.shifts[j].At
+			}
+			return e.shifts[i].VM < e.shifts[j].VM
+		})
+	}
+	return e, nil
+}
+
+// phaseLabel names a phase for the shift record.
+func phaseLabel(p workload.Phase, i int) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("%s%d", p.Kind, i)
+}
+
+// run drives the discrete-event loop: find the next instant anything
+// happens, advance the shared-link transfers to it, then fire what is
+// due — completions first, then phase shifts, then new dispatches.
+func (e *engine) run() (*Report, error) {
+	for {
+		t, ok := e.nextEventTime()
+		if !ok {
+			break
+		}
+		e.advance(t)
+		if err := e.fire(t); err != nil {
+			return nil, err
+		}
+	}
+	e.finish()
+	return e.rep, nil
+}
+
+// occupancy counts the transfers currently sharing a switch.
+func (e *engine) occupancy(sw string) int64 {
+	n := int64(0)
+	for _, f := range e.flights {
+		if f.state == fTransfer && f.sw == sw {
+			n++
+		}
+	}
+	return n
+}
+
+// flightEventTime projects a flight's next transition instant under the
+// current link occupancy.
+func (e *engine) flightEventTime(f *flight) time.Duration {
+	switch f.state {
+	case fHead:
+		return f.headEnd
+	case fTransfer:
+		return e.now + f.work*time.Duration(e.occupancy(f.sw))
+	default:
+		return f.end
+	}
+}
+
+// nextEventTime returns the earliest instant with something due.
+func (e *engine) nextEventTime() (time.Duration, bool) {
+	t, ok := time.Duration(math.MaxInt64), false
+	consider := func(c time.Duration) {
+		if c < t {
+			t = c
+		}
+		ok = true
+	}
+	if e.cfg.Policy != nil && e.tick < e.cfg.Horizon {
+		consider(e.tick)
+	}
+	if len(e.pending) > 0 {
+		consider(e.pending[0].At)
+	}
+	if e.si < len(e.shifts) {
+		consider(e.shifts[e.si].At)
+	}
+	for _, f := range e.flights {
+		consider(e.flightEventTime(f))
+	}
+	return t, ok
+}
+
+// advance moves the clock to t, draining every in-flight transfer by
+// its equal share of the elapsed span. Occupancy is constant between
+// events, so the sharing arithmetic is exact integer division; a due
+// flight's remaining work reaches exactly zero.
+func (e *engine) advance(t time.Duration) {
+	dt := t - e.now
+	if dt > 0 {
+		for _, f := range e.flights {
+			if f.state != fTransfer {
+				continue
+			}
+			f.work -= dt / time.Duration(e.occupancy(f.sw))
+			if f.work < 0 {
+				f.work = 0
+			}
+		}
+	}
+	e.now = t
+}
+
+// transition advances one flight through every lifecycle phase due at
+// instant t (a flight may cascade through zero-span phases within one
+// instant) and reports whether it landed.
+func (e *engine) transition(f *flight, t time.Duration) (landed bool) {
+	for {
+		switch f.state {
+		case fHead:
+			if f.headEnd > t {
+				return false
+			}
+			f.state = fTransfer
+		case fTransfer:
+			if f.work > 0 {
+				return false
+			}
+			f.transferEnd = t
+			f.state = fTail
+			f.end = t + f.tailSpan
+		default:
+			if f.end > t {
+				return false
+			}
+			e.land(f, t)
+			return true
+		}
+	}
+}
+
+// fire processes everything due at instant t.
+func (e *engine) fire(t time.Duration) error {
+	// 1. Flight transitions, in dispatch order.
+	kept := e.flights[:0]
+	for _, f := range e.flights {
+		if !e.transition(f, t) {
+			kept = append(kept, f)
+		}
+	}
+	e.flights = kept
+
+	// 2. Workload phase transitions.
+	for e.si < len(e.shifts) && e.shifts[e.si].At <= t {
+		e.rep.Shifts = append(e.rep.Shifts, e.shifts[e.si])
+		e.si++
+	}
+
+	// 3. New dispatches: the policy tick's plan, then explicit moves.
+	var batch []TimedMove
+	if e.cfg.Policy != nil && e.tick <= t && e.tick < e.cfg.Horizon {
+		snap, pinned := e.snapshot(t)
+		pc := e.cfg.PolicyConfig
+		pc.Pinned = pinned
+		plan, err := e.cfg.Policy.Plan(snap, pc)
+		if err != nil {
+			return fmt.Errorf("cluster: policy %s at t=%v: %w", e.cfg.Policy.Name(), t, err)
+		}
+		for _, m := range plan.Moves {
+			batch = append(batch, TimedMove{VM: m.VM, From: m.From, To: m.To, At: t})
+		}
+		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: len(e.flights)})
+		e.tick += e.cfg.Tick
+	}
+	for len(e.pending) > 0 && e.pending[0].At <= t {
+		batch = append(batch, e.pending[0])
+		e.pending = e.pending[1:]
+	}
+	if len(batch) > 0 {
+		return e.dispatch(t, batch)
+	}
+	return nil
+}
+
+// snapshot renders the cluster as the consolidation layer sees it at
+// time t: every resident guest with its phase-evaluated demand, with
+// in-flight guests pinned on their source and their destination
+// capacity held by a pinned reservation entry.
+func (e *engine) snapshot(t time.Duration) ([]consolidation.HostState, []string) {
+	incoming := make(map[string][]*flight)
+	for _, f := range e.flights {
+		incoming[f.to.Name] = append(incoming[f.to.Name], f)
+	}
+	var pinned []string
+	out := make([]consolidation.HostState, 0, len(e.hosts))
+	for _, h := range e.hosts {
+		hs := consolidation.HostState{
+			Name:      h.Name,
+			Threads:   h.Threads,
+			MemBytes:  h.MemBytes,
+			IdlePower: h.IdlePower,
+		}
+		for _, v := range h.vms {
+			hs.VMs = append(hs.VMs, consolidation.VMState{
+				Name:       v.Name,
+				MemBytes:   v.MemBytes,
+				BusyVCPUs:  v.busyAt(t),
+				DirtyRatio: v.dirtyAt(t),
+			})
+			if v.migrating {
+				pinned = append(pinned, v.Name)
+			}
+		}
+		for _, f := range incoming[h.Name] {
+			res := f.vm.Name + "+incoming"
+			hs.VMs = append(hs.VMs, consolidation.VMState{
+				Name:       res,
+				MemBytes:   f.vm.MemBytes,
+				BusyVCPUs:  f.vm.busyAt(t),
+				DirtyRatio: f.vm.dirtyAt(t),
+			})
+			pinned = append(pinned, res)
+		}
+		out = append(out, hs)
+	}
+	sort.Strings(pinned)
+	return out, pinned
+}
+
+// lower translates one move into a two-host testbed scenario, exactly
+// as the two-host executor does: residual busy threads approximate the
+// co-located load in 4-vCPU load-VM units, and the guest's dirty ratio
+// selects the migrating workload. The pair — the topology — is part of
+// the scenario and therefore of the run-cache key.
+func (e *engine) lower(v *vmRT, src, dst *hostRT, t time.Duration, idx int) sim.Scenario {
+	srcBusy := src.busyAtExcluding(t, v)
+	dstBusy := dst.busyAtExcluding(t, nil)
+	pair := e.cfg.Pair
+	if pair == "" {
+		pair = src.Machine + "/" + dst.Machine
+	}
+	sc := sim.Scenario{
+		Name:          fmt.Sprintf("cluster/%s->%s/%s", src.Name, dst.Name, v.Name),
+		Pair:          pair,
+		Kind:          e.cfg.Kind,
+		SourceLoadVMs: int(math.Round(srcBusy / 4)),
+		TargetLoadVMs: int(math.Round(dstBusy / 4)),
+		Seed:          e.cfg.Seed + int64(idx)*seedStride,
+	}
+	if dirty := v.dirtyAt(t); dirty > 0.2 {
+		sc.MigratingType = vm.TypeMigratingMem
+		sc.MigratingProfile = workload.PagedirtierProfile(dirty)
+	} else {
+		sc.MigratingType = vm.TypeMigratingCPU
+		sc.MigratingProfile = workload.MatrixMultProfile()
+	}
+	return sc
+}
+
+// checkMove resolves and sanity-checks one dispatching move.
+func (e *engine) checkMove(m TimedMove) (*vmRT, *hostRT, error) {
+	v, ok := e.vms[m.VM]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: move references unknown VM %q", m.VM)
+	}
+	if v.migrating {
+		return nil, nil, fmt.Errorf("cluster: VM %q is already migrating", m.VM)
+	}
+	if v.host.Name != m.From {
+		return nil, nil, fmt.Errorf("cluster: VM %q is on host %q, not %q", m.VM, v.host.Name, m.From)
+	}
+	dst, ok := e.byName[m.To]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: move references unknown host %q", m.To)
+	}
+	if dst == v.host {
+		return nil, nil, fmt.Errorf("cluster: move of %q does not change hosts", m.VM)
+	}
+	if v.host.sw != dst.sw {
+		return nil, nil, fmt.Errorf("cluster: no migration path from %s (%s) to %s (%s): different switches",
+			v.host.Name, v.host.sw, dst.Name, dst.sw)
+	}
+	return v, dst, nil
+}
+
+// dispatch starts a batch of concurrent migrations at instant t: every
+// move is lowered against the pre-batch state, the kernel runs fan out
+// in parallel (each seeded by its dispatch index), and the resulting
+// flights join the timeline.
+func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
+	flights := make([]*flight, 0, len(batch))
+	scs := make([]sim.Scenario, 0, len(batch))
+	for _, m := range batch {
+		v, dst, err := e.checkMove(m)
+		if err != nil {
+			return err
+		}
+		sc := e.lower(v, v.host, dst, t, e.nextIdx)
+		flights = append(flights, &flight{
+			idx: e.nextIdx, vm: v, from: v.host, to: dst,
+			sw: dst.sw, pair: sc.Pair, start: t,
+		})
+		scs = append(scs, sc)
+		e.nextIdx++
+		// Mark the mover immediately so a duplicate move of the same VM
+		// later in this batch trips checkMove's already-migrating guard.
+		// Lowering is unaffected: it reads demands, not the flag, so
+		// every scenario in the batch still sees the dispatch-instant
+		// state.
+		v.migrating = true
+	}
+	runs, err := e.simulate(scs, func(i int) int { return flights[i].idx })
+	if err != nil {
+		return err
+	}
+	for i, run := range runs {
+		f := flights[i]
+		f.run = run
+		f.headEnd = t + (run.Bounds.TS - run.Bounds.MS)
+		f.work = run.Bounds.TE - run.Bounds.TS
+		f.intrinsic = f.work
+		f.tailSpan = run.Bounds.ME - run.Bounds.TE
+	}
+	e.flights = append(e.flights, flights...)
+	return nil
+}
+
+// simulate answers a batch of lowered scenarios through the cache in
+// parallel, wrapping any failure with the identity of its move (idx
+// maps a batch position to the move's dispatch index).
+func (e *engine) simulate(scs []sim.Scenario, idx func(i int) int) ([]*sim.RunResult, error) {
+	return parallel.Map(e.cfg.Workers, len(scs), func(i int) (*sim.RunResult, error) {
+		run, err := e.cfg.Cache.Run(scs[i])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: executing move %d (%s): %w", idx(i), scs[i].Name, err)
+		}
+		return run, nil
+	})
+}
+
+// apply lands a guest on its destination host.
+func (e *engine) apply(v *vmRT, dst *hostRT) {
+	src := v.host
+	for i, g := range src.vms {
+		if g == v {
+			src.vms = append(src.vms[:i], src.vms[i+1:]...)
+			break
+		}
+	}
+	at := sort.Search(len(dst.vms), func(i int) bool { return dst.vms[i].Name >= v.Name })
+	dst.vms = append(dst.vms, nil)
+	copy(dst.vms[at+1:], dst.vms[at:])
+	dst.vms[at] = v
+	v.host = dst
+}
+
+// land completes a flight at instant t and records its outcome.
+func (e *engine) land(f *flight, t time.Duration) {
+	e.apply(f.vm, f.to)
+	f.vm.migrating = false
+	e.recs = append(e.recs, indexedRec{idx: f.idx, rec: e.record(f, t)})
+}
+
+// record builds the migration record of a finished flight: the
+// intrinsic kernel measurements, with the transfer-phase energy scaled
+// by the contention stretch.
+func (e *engine) record(f *flight, end time.Duration) MigrationRecord {
+	intrinsicE := f.run.SourceEnergy.Total() + f.run.TargetEnergy.Total()
+	stretch := 1.0
+	adjusted := intrinsicE
+	if f.intrinsic > 0 {
+		stretch = float64(f.transferEnd-f.headEnd) / float64(f.intrinsic)
+		transferE := f.run.SourceEnergy.Transfer + f.run.TargetEnergy.Transfer
+		adjusted += units.Joules((stretch - 1) * float64(transferE))
+	}
+	return MigrationRecord{
+		VM: f.vm.Name, From: f.from.Name, To: f.to.Name, Pair: f.pair,
+		Start: f.start, End: end, Duration: end - f.start,
+		Stretch: stretch, Energy: adjusted, IntrinsicEnergy: intrinsicE,
+		BytesSent: f.run.BytesSent, Rounds: f.run.Rounds, Downtime: f.run.Downtime,
+	}
+}
+
+// finish assembles the report once the timeline has drained.
+func (e *engine) finish() {
+	sort.Slice(e.recs, func(i, j int) bool { return e.recs[i].idx < e.recs[j].idx })
+	for _, ir := range e.recs {
+		e.rep.Timeline = append(e.rep.Timeline, ir.rec)
+		e.rep.TotalEnergy += ir.rec.Energy
+		if ir.rec.End > e.rep.Makespan {
+			e.rep.Makespan = ir.rec.End
+		}
+	}
+	for _, h := range e.hosts {
+		if len(h.vms) == 0 {
+			e.rep.FreedHosts = append(e.rep.FreedHosts, h.Name)
+			e.rep.IdleSavings += h.IdlePower
+		}
+	}
+	e.rep.Final, _ = e.snapshot(e.rep.Makespan)
+}
+
+// runSerial executes the explicit moves one at a time in spec order —
+// the two-host executor's semantics. The state evolves between moves
+// (each scenario sees all earlier moves landed), there is never link
+// contention, and the whole batch of kernel runs fans out in parallel
+// because every scenario is derivable up front.
+func (e *engine) runSerial() (*Report, error) {
+	scs := make([]sim.Scenario, 0, len(e.cfg.Moves))
+	type planned struct {
+		vm       string
+		from, to string
+		pair     string
+	}
+	moves := make([]planned, 0, len(e.cfg.Moves))
+	for i, m := range e.cfg.Moves {
+		v, dst, err := e.checkMove(m)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: move %d: %w", i, err)
+		}
+		sc := e.lower(v, v.host, dst, 0, i)
+		scs = append(scs, sc)
+		moves = append(moves, planned{vm: v.Name, from: v.host.Name, to: dst.Name, pair: sc.Pair})
+		e.apply(v, dst)
+	}
+	runs, err := e.simulate(scs, func(i int) int { return i })
+	if err != nil {
+		return nil, err
+	}
+	at := time.Duration(0)
+	for i, run := range runs {
+		d := run.Bounds.ME - run.Bounds.MS
+		energy := run.SourceEnergy.Total() + run.TargetEnergy.Total()
+		e.recs = append(e.recs, indexedRec{idx: i, rec: MigrationRecord{
+			VM: moves[i].vm, From: moves[i].from, To: moves[i].to, Pair: moves[i].pair,
+			Start: at, End: at + d, Duration: d,
+			Stretch: 1, Energy: energy, IntrinsicEnergy: energy,
+			BytesSent: run.BytesSent, Rounds: run.Rounds, Downtime: run.Downtime,
+		}})
+		at += d
+	}
+	e.finish()
+	return e.rep, nil
+}

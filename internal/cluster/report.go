@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/units"
+)
+
+// MigrationRecord is one completed migration of the timeline.
+type MigrationRecord struct {
+	// VM, From and To identify the move.
+	VM, From, To string
+	// Pair is the testbed pair the move was lowered onto (the part of
+	// the run-cache key that carries the topology).
+	Pair string
+	// Start and End bound the migration on the cluster timeline,
+	// including contention-induced stretching.
+	Start, End time.Duration
+	// Duration is End − Start.
+	Duration time.Duration
+	// Stretch is the contention factor of the transfer phase: actual
+	// transfer span over intrinsic. 1 means the link was private.
+	Stretch float64
+	// Energy is the contention-adjusted source+target migration energy:
+	// the intrinsic measured energy with the transfer-phase share scaled
+	// by Stretch.
+	Energy units.Joules
+	// IntrinsicEnergy is the unstretched measured energy of the
+	// underlying kernel run.
+	IntrinsicEnergy units.Joules
+	// BytesSent is the state data moved.
+	BytesSent units.Bytes
+	// Rounds is the pre-copy round count (live only).
+	Rounds int
+	// Downtime is the guest suspension span.
+	Downtime time.Duration
+}
+
+// TickRecord is one policy invocation of the timeline.
+type TickRecord struct {
+	// At is the tick instant.
+	At time.Duration
+	// Moves is how many migrations the round planned and dispatched.
+	Moves int
+	// Pinned is how many in-flight VMs the round had to plan around.
+	Pinned int
+}
+
+// PhaseShift is one workload phase transition of the timeline.
+type PhaseShift struct {
+	// At is the boundary instant.
+	At time.Duration
+	// VM is the guest whose workload changed.
+	VM string
+	// Phase labels the phase being entered ("" when the timeline ended
+	// and the final level holds).
+	Phase string
+}
+
+// Report is everything one cluster timeline yields.
+type Report struct {
+	// Timeline lists the completed migrations in dispatch order.
+	Timeline []MigrationRecord
+	// Ticks lists the policy invocations in order (empty without a
+	// policy).
+	Ticks []TickRecord
+	// Shifts lists the workload phase transitions inside the horizon.
+	Shifts []PhaseShift
+	// TotalEnergy is the contention-adjusted migration energy of the
+	// whole timeline.
+	TotalEnergy units.Joules
+	// Makespan is when the last migration landed (zero when none ran).
+	Makespan time.Duration
+	// FreedHosts are hosts left empty at the end, in name order.
+	FreedHosts []string
+	// IdleSavings is the idle power those hosts stop drawing once
+	// switched off.
+	IdleSavings units.Watts
+	// Final is the end-of-timeline placement in host name order, with
+	// VM demand evaluated at the makespan.
+	Final []consolidation.HostState
+}

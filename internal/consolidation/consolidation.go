@@ -157,6 +157,14 @@ type Config struct {
 	// cost exceeds IdlePower×Horizon is not worth doing and is skipped by
 	// the energy-aware policy.
 	Horizon time.Duration
+	// Pinned names VMs that must not move this round. A periodic
+	// re-planner sets it to the in-flight migrations (and their
+	// destination-side reservations) when a tick fires while the previous
+	// plan is still executing: pinned VMs contribute load and occupy
+	// capacity wherever they sit, but no policy may plan a move for them.
+	// Names that match no VM are ignored, so callers can pin
+	// reservations without checking whether they materialised.
+	Pinned []string
 }
 
 func (c Config) withDefaults() Config {
@@ -169,7 +177,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Policy turns a data-centre state into a consolidation plan.
+// pinnedSet indexes the pinned VM names.
+func (c Config) pinnedSet() map[string]bool {
+	if len(c.Pinned) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(c.Pinned))
+	for _, name := range c.Pinned {
+		set[name] = true
+	}
+	return set
+}
+
+// hasPinned reports whether any of the host's VMs is pinned.
+func (h HostState) hasPinned(pinned map[string]bool) bool {
+	for _, v := range h.VMs {
+		if pinned[v.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy turns a data-centre state into a consolidation plan. Policies
+// are re-entrant: a periodic re-planner invokes Plan repeatedly against
+// the evolving state, pinning in-flight VMs via Config.Pinned between
+// invocations.
 type Policy interface {
 	Name() string
 	Plan(hosts []HostState, cfg Config) (*Plan, error)

@@ -31,6 +31,7 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
 	work := cloneHosts(hosts)
 	plan := &Plan{}
+	pinned := cfg.pinnedSet()
 	received := map[string]bool{} // hosts that gained VMs this round
 
 	// Drain candidates: least loaded first (cheapest to empty).
@@ -54,6 +55,12 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		// A host that just received migrations is pinned for this round:
 		// re-draining it would move VMs twice and burn energy for nothing.
 		if received[srcName] {
+			continue
+		}
+		// A host with a pinned VM (an in-flight migration from an earlier
+		// round) can never be fully emptied, and a half-drain saves
+		// nothing — skip it until the flight lands.
+		if src.hasPinned(pinned) {
 			continue
 		}
 		moves, ok, err := p.drain(work, src, cfg, len(plan.Moves))
@@ -171,8 +178,11 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
 	work := cloneHosts(hosts)
 	plan := &Plan{}
+	pinned := cfg.pinnedSet()
 
-	// Gather every VM with its origin.
+	// Gather every movable VM with its origin. Pinned VMs (in-flight
+	// migrations from a previous round) are not re-packed: they keep
+	// their bin below and just consume its capacity.
 	type placed struct {
 		vm   VMState
 		from string
@@ -180,6 +190,9 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	var all []placed
 	for _, h := range work {
 		for _, v := range h.VMs {
+			if pinned[v.Name] {
+				continue
+			}
 			all = append(all, placed{v, h.Name})
 		}
 	}
@@ -190,12 +203,30 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		return all[i].vm.Name < all[j].vm.Name
 	})
 
-	// Re-pack into empty bins in host order.
+	// Re-pack into empty bins in host order; pinned VMs pre-occupy their
+	// current bin.
 	bins := cloneHosts(hosts)
 	for i := range bins {
-		bins[i].VMs = nil
+		kept := bins[i].VMs[:0]
+		for _, v := range bins[i].VMs {
+			if pinned[v.Name] {
+				kept = append(kept, v)
+			}
+		}
+		bins[i].VMs = kept
 	}
-	for _, pl := range all {
+	for idx, pl := range all {
+		// Move budget exhausted: every VM not yet processed stays where
+		// it is. They must land back in their origin bins, or the freed-
+		// host accounting below would report hosts as empty that still
+		// run the unmoved tail of the packing order.
+		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
+			for _, rest := range all[idx:] {
+				origin := hostByName(bins, rest.from)
+				origin.VMs = append(origin.VMs, rest.vm)
+			}
+			break
+		}
 		placedAt := ""
 		for i := range bins {
 			if bins[i].fits(pl.vm, cfg.CPUCap) {
@@ -219,9 +250,6 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 				move.Cost = cost
 			}
 			plan.Moves = append(plan.Moves, move)
-			if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
-				break
-			}
 		}
 	}
 	finishPlan(plan, bins)

@@ -5,22 +5,26 @@
 // This is how the reproduction demonstrates the paper's end claim — that
 // energy-aware consolidation decisions, made with WAVM3 predictions,
 // actually save energy when the migrations are carried out.
+//
+// Since the N-host generalisation, dcsim is a thin compatibility wrapper
+// over internal/cluster: the plan becomes a serial cluster timeline
+// (moves chained one after another, exactly the executor's historical
+// semantics), every host keeps its abstract capacity, and every move is
+// lowered onto the configured testbed pair. Reports are bit-identical
+// to the pre-cluster executor's.
 package dcsim
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/consolidation"
 	"repro/internal/hw"
 	"repro/internal/migration"
-	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/units"
-	"repro/internal/vm"
-	"repro/internal/workload"
 )
 
 // MoveResult is the measured outcome of executing one planned move.
@@ -64,123 +68,83 @@ type Executor struct {
 	Cache *sim.Cache
 }
 
-// scenarioFor translates one move into a testbed scenario: the moved VM's
-// dirty ratio selects the migrating workload, and the residual busy
-// threads of both hosts are approximated with load-cpu VMs (4 vCPUs each,
-// matching the paper's load staircase granularity).
-func (e Executor) scenarioFor(m consolidation.Move, vmState consolidation.VMState, srcBusy, dstBusy float64, idx int) (sim.Scenario, error) {
-	if srcBusy < 0 || dstBusy < 0 {
-		return sim.Scenario{}, fmt.Errorf("dcsim: negative residual load for move %v", m)
+// ExecutePlan simulates every move of a plan in order against the evolving
+// data-centre state and returns the measured report. The hosts slice is
+// the *pre-plan* state. Execution is a serial timeline on a cluster whose
+// hosts carry the abstract capacities and whose moves all lower onto the
+// executor's testbed pair.
+func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []consolidation.HostState) (*ExecutionReport, error) {
+	if plan == nil {
+		return nil, errors.New("dcsim: nil plan")
 	}
 	pair := e.Pair
 	if pair == "" {
 		pair = hw.PairM
 	}
-	sc := sim.Scenario{
-		Name:          fmt.Sprintf("dcsim/%s->%s/%s", m.From, m.To, m.VM),
-		Pair:          pair,
-		Kind:          e.Kind,
-		SourceLoadVMs: int(math.Round(srcBusy / 4)),
-		TargetLoadVMs: int(math.Round(dstBusy / 4)),
-		Seed:          e.Seed + int64(idx)*607,
+	cfg := cluster.Config{
+		Kind:    e.Kind,
+		Pair:    pair,
+		Seed:    e.Seed,
+		Workers: e.Workers,
+		Cache:   e.Cache,
+		Serial:  true,
 	}
-	if vmState.DirtyRatio > 0.2 {
-		sc.MigratingType = vm.TypeMigratingMem
-		sc.MigratingProfile = workload.PagedirtierProfile(vmState.DirtyRatio)
-	} else {
-		sc.MigratingType = vm.TypeMigratingCPU
-		sc.MigratingProfile = workload.MatrixMultProfile()
-	}
-	return sc, nil
-}
-
-// ExecutePlan simulates every move of a plan in order against the evolving
-// data-centre state and returns the measured report. The hosts slice is
-// the *pre-plan* state; residual loads are tracked as moves execute.
-func (e Executor) ExecutePlan(policy string, plan *consolidation.Plan, hosts []consolidation.HostState) (*ExecutionReport, error) {
-	if plan == nil {
-		return nil, errors.New("dcsim: nil plan")
-	}
-	// Work on a copy of the state, indexed by name.
-	state := make(map[string]*consolidation.HostState, len(hosts))
-	for i := range hosts {
-		h := hosts[i]
-		h.VMs = append([]consolidation.VMState(nil), hosts[i].VMs...)
-		if _, dup := state[h.Name]; dup {
-			return nil, fmt.Errorf("dcsim: duplicate host %q", h.Name)
+	for _, h := range hosts {
+		ch := cluster.Host{
+			Name:      h.Name,
+			Threads:   h.Threads,
+			MemBytes:  h.MemBytes,
+			IdlePower: h.IdlePower,
 		}
-		state[h.Name] = &h
-	}
-	// Pass 1 (sequential, cheap): evolve the data-centre state move by
-	// move and derive every scenario, exactly as the one-at-a-time
-	// executor did — residual loads see all earlier moves applied.
-	scenarios := make([]sim.Scenario, 0, len(plan.Moves))
-	for i, mv := range plan.Moves {
-		src, ok := state[mv.From]
-		if !ok {
-			return nil, fmt.Errorf("dcsim: move %d references unknown host %q", i, mv.From)
+		// The historical executor never read host capacities — only names
+		// and VM demands — so hosts that skipped them stay accepted here:
+		// placeholders satisfy the cluster's host validation, and the
+		// serial path never consults capacity or idle power.
+		if ch.Threads <= 0 {
+			ch.Threads = 1
 		}
-		dst, ok := state[mv.To]
-		if !ok {
-			return nil, fmt.Errorf("dcsim: move %d references unknown host %q", i, mv.To)
+		if ch.MemBytes <= 0 {
+			ch.MemBytes = 1
 		}
-		var vmState consolidation.VMState
-		found := false
-		for j, v := range src.VMs {
-			if v.Name == mv.VM {
-				vmState = v
-				src.VMs = append(src.VMs[:j], src.VMs[j+1:]...)
-				found = true
-				break
+		if ch.IdlePower <= 0 {
+			ch.IdlePower = 1
+		}
+		for _, v := range h.VMs {
+			cv := cluster.VM{
+				Name:       v.Name,
+				MemBytes:   v.MemBytes,
+				BusyVCPUs:  v.BusyVCPUs,
+				DirtyRatio: v.DirtyRatio.Clamp(),
 			}
+			// Same compatibility rule as the host capacities: the old
+			// executor read only BusyVCPUs and DirtyRatio (clamped by the
+			// workload profile), so a memory-less bystander VM must not
+			// start failing plans here.
+			if cv.MemBytes <= 0 {
+				cv.MemBytes = 1
+			}
+			ch.VMs = append(ch.VMs, cv)
 		}
-		if !found {
-			return nil, fmt.Errorf("dcsim: move %d: VM %q not on %q", i, mv.VM, mv.From)
-		}
-
-		srcBusy := busyOf(src) // residual, the VM already removed
-		dstBusy := busyOf(dst)
-		sc, err := e.scenarioFor(mv, vmState, srcBusy, dstBusy, i)
-		if err != nil {
-			return nil, err
-		}
-		scenarios = append(scenarios, sc)
-		dst.VMs = append(dst.VMs, vmState)
+		cfg.Hosts = append(cfg.Hosts, ch)
 	}
-
-	// Pass 2 (parallel, expensive): simulate every move. Each scenario is
-	// self-contained and seeded from its plan index, so fan-out order
-	// cannot affect the measurements.
-	runs, err := parallel.Map(e.Workers, len(scenarios), func(i int) (*sim.RunResult, error) {
-		run, err := e.Cache.Run(scenarios[i])
-		if err != nil {
-			return nil, fmt.Errorf("dcsim: executing move %d (%s): %w", i, scenarios[i].Name, err)
-		}
-		return run, nil
-	})
+	for _, m := range plan.Moves {
+		cfg.Moves = append(cfg.Moves, cluster.TimedMove{VM: m.VM, From: m.From, To: m.To})
+	}
+	clusterRep, err := cluster.Run(cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dcsim: %w", err)
 	}
-
 	rep := &ExecutionReport{Policy: policy}
-	for i, run := range runs {
+	for i, rec := range clusterRep.Timeline {
 		res := MoveResult{
 			Move:           plan.Moves[i],
-			MeasuredEnergy: run.SourceEnergy.Total() + run.TargetEnergy.Total(),
-			Duration:       run.Bounds.ME - run.Bounds.MS,
-			BytesSent:      run.BytesSent,
+			MeasuredEnergy: rec.Energy,
+			Duration:       rec.Duration,
+			BytesSent:      rec.BytesSent,
 		}
 		rep.Moves = append(rep.Moves, res)
 		rep.Total += res.MeasuredEnergy
 		rep.Elapsed += res.Duration
 	}
 	return rep, nil
-}
-
-func busyOf(h *consolidation.HostState) float64 {
-	s := 0.0
-	for _, v := range h.VMs {
-		s += v.BusyVCPUs
-	}
-	return s
 }

@@ -151,3 +151,38 @@ func TestExecutePlanValidation(t *testing.T) {
 		t.Error("empty plan must measure nothing")
 	}
 }
+
+// TestExecutePlanIgnoresHostCapacities pins the wrapper's compatibility
+// contract: the historical executor only read host names and VM
+// demands, so hosts without Threads/MemBytes/IdlePower must still
+// execute — and measure identically to fully specified hosts.
+func TestExecutePlanIgnoresHostCapacities(t *testing.T) {
+	bare := []consolidation.HostState{
+		{Name: "a", VMs: []consolidation.VMState{
+			{Name: "v", MemBytes: gib(4), BusyVCPUs: 4, DirtyRatio: 0.3},
+			// A memory-less bystander: the executor only ever read
+			// BusyVCPUs and DirtyRatio, so this must not fail the plan.
+			{Name: "zeromem", BusyVCPUs: 2},
+		}},
+		{Name: "b"},
+	}
+	full := testDC()[:0]
+	for _, h := range bare {
+		h.Threads, h.MemBytes, h.IdlePower = 32, gib(64), 440
+		full = append(full, h)
+	}
+	plan := &consolidation.Plan{Moves: []consolidation.Move{{VM: "v", From: "a", To: "b"}}}
+	ex := Executor{Kind: migration.Live, Seed: 5}
+	bareRep, err := ex.ExecutePlan("x", plan, bare)
+	if err != nil {
+		t.Fatalf("capacity-less hosts rejected: %v", err)
+	}
+	fullRep, err := ex.ExecutePlan("x", plan, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareRep.Total != fullRep.Total || bareRep.Elapsed != fullRep.Elapsed {
+		t.Errorf("capacities leaked into the measurement: %v/%v vs %v/%v",
+			bareRep.Total, bareRep.Elapsed, fullRep.Total, fullRep.Elapsed)
+	}
+}

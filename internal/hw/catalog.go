@@ -106,9 +106,11 @@ func Catalog() map[string]MachineSpec {
 
 // Pair returns the (source, target) machines of a named pair. Beyond the
 // paper's two named pairs, "src/dst" selects a custom — possibly
-// heterogeneous — pair of catalog machines, e.g. "m01/h1". Whether a
-// custom pair can actually migrate (shared switch) is checked where the
-// link is built, in netsim.NewLink.
+// heterogeneous — pair of catalog machines, e.g. "m01/h1". A catalog
+// entry names a machine *model*, so "h1/h1" is valid: two physical
+// instances of the same model, the common case inside an N-host cluster
+// built from one rack SKU. Whether a custom pair can actually migrate
+// (shared switch) is checked where the link is built, in netsim.NewLink.
 func Pair(name string) (src, dst MachineSpec, err error) {
 	cat := Catalog()
 	switch name {
@@ -125,8 +127,6 @@ func Pair(name string) (src, dst MachineSpec, err error) {
 			return MachineSpec{}, MachineSpec{}, fmt.Errorf("hw: unknown machine %q in pair %q", s, name)
 		case !okD:
 			return MachineSpec{}, MachineSpec{}, fmt.Errorf("hw: unknown machine %q in pair %q", d, name)
-		case s == d:
-			return MachineSpec{}, MachineSpec{}, fmt.Errorf("hw: pair %q names the same machine twice", name)
 		}
 		return src, dst, nil
 	}

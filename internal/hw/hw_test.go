@@ -92,7 +92,16 @@ func TestCustomPair(t *testing.T) {
 	if s.Name != "m01" || d.Name != "h1" {
 		t.Errorf("custom pair = (%s, %s), want (m01, h1)", s.Name, d.Name)
 	}
-	for _, bad := range []string{"m01/nope", "nope/m01", "m01/m01", "m01/"} {
+	// A catalog entry is a model, not a box: "m01/m01" is two physical
+	// instances of the same model (a homogeneous cluster pair).
+	s, d, err = Pair("m01/m01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "m01" || d.Name != "m01" {
+		t.Errorf("same-model pair = (%s, %s), want (m01, m01)", s.Name, d.Name)
+	}
+	for _, bad := range []string{"m01/nope", "nope/m01", "m01/"} {
 		if _, _, err := Pair(bad); err == nil {
 			t.Errorf("custom pair %q accepted, want error", bad)
 		}

@@ -40,6 +40,22 @@ func (k Kind) String() string {
 	return "non-live"
 }
 
+// ParseKind parses the external (scenario-file) spelling of a migration
+// mechanism. The empty string selects Live, the testbed default, so
+// declarative specs can omit the field.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "live":
+		return Live, nil
+	case "non-live":
+		return NonLive, nil
+	case "post-copy":
+		return PostCopy, nil
+	default:
+		return 0, fmt.Errorf("unknown migration kind %q (want live, non-live or post-copy)", s)
+	}
+}
+
 // Config tunes an engine. Zero values select the defaults below.
 type Config struct {
 	// Kind selects live or non-live migration.

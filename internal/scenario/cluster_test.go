@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/migration"
+)
+
+// clusterBase is a minimal valid cluster spec used by the validation
+// matrix: two hosts, one phased VM, one explicit move.
+func clusterBase() *Spec {
+	return &Spec{
+		Version: CurrentVersion,
+		Name:    "cl-test",
+		Cluster: &ClusterSpec{
+			HorizonS: 3600,
+			Hosts: []ClusterHostSpec{
+				{Name: "a", Machine: "m01", VMs: []ClusterVMSpec{
+					{Name: "v1", MemGiB: 4, BusyVCPUs: 2, DirtyRatio: 0.1,
+						Phases: []PhaseSpec{{Kind: "diurnal", DurationS: 3600, Level: 0.5, Peak: 1.5}}},
+				}},
+				{Name: "b", Machine: "m01"},
+			},
+			Moves: []TimedMoveSpec{{VM: "v1", From: "a", To: "b", AtS: 60}},
+		},
+	}
+}
+
+// clusterPolicyBase swaps the explicit move for an energy-aware tick.
+func clusterPolicyBase() *Spec {
+	s := clusterBase()
+	s.Cluster.Moves = nil
+	s.Cluster.Policy = PolicyEnergyAware
+	s.Cluster.TickS = 600
+	s.Cluster.PaybackS = 86400
+	return s
+}
+
+func TestClusterValidationPaths(t *testing.T) {
+	at := func(v float64) *float64 { return &v }
+	if err := clusterBase().Validate(); err != nil {
+		t.Fatalf("valid cluster spec rejected: %v", err)
+	}
+	if err := clusterPolicyBase().Validate(); err != nil {
+		t.Fatalf("valid policy cluster spec rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*Spec)
+		wantPath string
+	}{
+		{"both forms", func(s *Spec) { s.Datacenter = &Datacenter{} }, "cluster"},
+		{"pair set", func(s *Spec) { s.Pair = "m01-m02" }, "pair"},
+		{"migrating set", func(s *Spec) { s.Migrating.Workload.Profile = ProfileIdle }, "migrating"},
+		{"spec phases set", func(s *Spec) { s.Phases = []PhaseSpec{{Kind: "steady", DurationS: 1}} }, "phases"},
+		{"load vms set", func(s *Spec) { s.SourceLoadVMs = 1 }, "source_load_vms"},
+		{"load workload set", func(s *Spec) { s.LoadWorkload = &Workload{Profile: ProfileMatrixMult} }, "load_workload"},
+		{"repeat set", func(s *Spec) { s.Repeat = &Repeat{MinRuns: 3} }, "repeat"},
+		{"meter set", func(s *Spec) { s.Meter = &Meter{PeriodMS: 1000} }, "meter"},
+		{"post-copy", func(s *Spec) { s.Kind = "post-copy" }, "kind"},
+		{"no hosts", func(s *Spec) { s.Cluster.Hosts = nil }, "cluster.hosts"},
+		{"bad policy", func(s *Spec) { s.Cluster.Policy = "round-robin" }, "cluster.policy"},
+		{"no moves no policy", func(s *Spec) { s.Cluster.Moves = nil }, "cluster.moves"},
+		{"tick without policy", func(s *Spec) { s.Cluster.TickS = 60 }, "cluster.tick_s"},
+		{"cap without policy", func(s *Spec) { s.Cluster.CPUCap = 0.8 }, "cluster.cpu_cap"},
+		{"unnamed host", func(s *Spec) { s.Cluster.Hosts[1].Name = "" }, "cluster.hosts[1].name"},
+		{"duplicate host", func(s *Spec) { s.Cluster.Hosts[1].Name = "a" }, "cluster.hosts[1].name"},
+		{"unknown machine", func(s *Spec) { s.Cluster.Hosts[1].Machine = "vax" }, "cluster.hosts[1].machine"},
+		{"unnamed vm", func(s *Spec) { s.Cluster.Hosts[0].VMs[0].Name = "" }, "cluster.hosts[0].vms[0].name"},
+		{"duplicate vm", func(s *Spec) {
+			s.Cluster.Hosts[1].VMs = []ClusterVMSpec{{Name: "v1", MemGiB: 4}}
+		}, "cluster.hosts[1].vms[0].name"},
+		{"no memory", func(s *Spec) { s.Cluster.Hosts[0].VMs[0].MemGiB = 0 }, "cluster.hosts[0].vms[0].mem_gib"},
+		{"negative busy", func(s *Spec) { s.Cluster.Hosts[0].VMs[0].BusyVCPUs = -1 }, "cluster.hosts[0].vms[0].busy_vcpus"},
+		{"dirty out of range", func(s *Spec) { s.Cluster.Hosts[0].VMs[0].DirtyRatio = 1.5 }, "cluster.hosts[0].vms[0].dirty_ratio"},
+		{"vm phase bad kind", func(s *Spec) {
+			s.Cluster.Hosts[0].VMs[0].Phases[0].Kind = "spiky"
+		}, "cluster.hosts[0].vms[0].phases[0].kind"},
+		{"vm phase with at", func(s *Spec) {
+			s.Cluster.Hosts[0].VMs[0].Phases[0].At = at(0.5)
+		}, "cluster.hosts[0].vms[0].phases[0].at"},
+		{"unknown move vm", func(s *Spec) { s.Cluster.Moves[0].VM = "ghost" }, "cluster.moves[0].vm"},
+		{"unknown from", func(s *Spec) { s.Cluster.Moves[0].From = "ghost" }, "cluster.moves[0].from"},
+		{"unknown to", func(s *Spec) { s.Cluster.Moves[0].To = "ghost" }, "cluster.moves[0].to"},
+		{"self move", func(s *Spec) { s.Cluster.Moves[0].To = "a" }, "cluster.moves[0].to"},
+		{"negative at", func(s *Spec) { s.Cluster.Moves[0].AtS = -1 }, "cluster.moves[0].at_s"},
+		{"cross-switch move", func(s *Spec) { s.Cluster.Hosts[1].Machine = "o1" }, "(compiled)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := clusterBase()
+			tc.mutate(s)
+			wantPathError(t, s.Validate(), tc.wantPath)
+		})
+	}
+	policyCases := []struct {
+		name     string
+		mutate   func(*Spec)
+		wantPath string
+	}{
+		{"policy with moves", func(s *Spec) {
+			s.Cluster.Moves = []TimedMoveSpec{{VM: "v1", From: "a", To: "b"}}
+		}, "cluster.moves"},
+		{"policy no tick", func(s *Spec) { s.Cluster.TickS = 0 }, "cluster.tick_s"},
+		{"policy no horizon", func(s *Spec) { s.Cluster.HorizonS = 0 }, "cluster.horizon_s"},
+		{"policy one host", func(s *Spec) { s.Cluster.Hosts = s.Cluster.Hosts[:1] }, "cluster.hosts"},
+		{"cap out of range", func(s *Spec) { s.Cluster.CPUCap = 1.5 }, "cluster.cpu_cap"},
+		{"negative payback", func(s *Spec) { s.Cluster.PaybackS = -1 }, "cluster.payback_s"},
+	}
+	for _, tc := range policyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := clusterPolicyBase()
+			tc.mutate(s)
+			wantPathError(t, s.Validate(), tc.wantPath)
+		})
+	}
+}
+
+func TestClusterCompile(t *testing.T) {
+	s := clusterBase()
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cluster == nil || c.Plan != nil || len(c.Runs) != 0 {
+		t.Fatalf("cluster spec compiled to runs=%d plan=%v cluster=%v", len(c.Runs), c.Plan, c.Cluster)
+	}
+	cfg := c.Cluster.Config
+	if c.Cluster.Policy != "timeline" {
+		t.Errorf("policy label = %q, want timeline", c.Cluster.Policy)
+	}
+	if cfg.Kind != migration.Live {
+		t.Errorf("kind = %v", cfg.Kind)
+	}
+	if cfg.Seed != s.EffectiveSeed() {
+		t.Errorf("seed = %d, want %d", cfg.Seed, s.EffectiveSeed())
+	}
+	if len(cfg.Hosts) != 2 || cfg.Hosts[0].Machine != "m01" {
+		t.Errorf("hosts = %+v", cfg.Hosts)
+	}
+	if len(cfg.Hosts[0].VMs[0].Phases) != 1 || cfg.Hosts[0].VMs[0].Phases[0].Duration != 3600*time.Second {
+		t.Errorf("vm phases = %+v", cfg.Hosts[0].VMs[0].Phases)
+	}
+	if len(cfg.Moves) != 1 || cfg.Moves[0].At != time.Minute {
+		t.Errorf("moves = %+v", cfg.Moves)
+	}
+
+	p, err := clusterPolicyBase().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cluster.Policy != "energy-aware" {
+		t.Errorf("policy label = %q", p.Cluster.Policy)
+	}
+	pc := p.Cluster.Config
+	if _, ok := pc.Policy.(consolidation.EnergyAware); !ok {
+		t.Errorf("policy = %T, want EnergyAware", pc.Policy)
+	}
+	if pc.Tick != 600*time.Second || pc.Horizon != 3600*time.Second {
+		t.Errorf("tick/horizon = %v/%v", pc.Tick, pc.Horizon)
+	}
+	if pc.PolicyConfig.Horizon != 86400*time.Second {
+		t.Errorf("payback horizon = %v", pc.PolicyConfig.Horizon)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/consolidation"
 	"repro/internal/dcsim"
 	"repro/internal/sim"
@@ -55,13 +56,24 @@ type PlanRun struct {
 	Executor dcsim.Executor
 }
 
+// ClusterRun is the compiled form of a cluster scenario: a ready
+// cluster.Config with Workers and Cache left to the caller.
+type ClusterRun struct {
+	// Policy labels the timeline in reports: the planning policy, or
+	// "timeline" for explicit move lists.
+	Policy string
+	// Config is the lowered engine input.
+	Config cluster.Config
+}
+
 // Compiled is everything a spec lowers to. Exactly one of Runs (migration
-// scenarios, one entry per phase) or Plan (data-centre scenarios) is
-// populated.
+// scenarios, one entry per phase), Plan (data-centre scenarios) or
+// Cluster (N-host timelines) is populated.
 type Compiled struct {
-	Spec *Spec
-	Runs []Run
-	Plan *PlanRun
+	Spec    *Spec
+	Runs    []Run
+	Plan    *PlanRun
+	Cluster *ClusterRun
 }
 
 // Compile validates the spec and lowers it into executable form. The
@@ -73,6 +85,9 @@ func (s *Spec) Compile() (*Compiled, error) {
 	}
 	if s.Datacenter != nil {
 		return s.compileDatacenter()
+	}
+	if s.Cluster != nil {
+		return s.compileCluster()
 	}
 	base, err := s.baseScenario()
 	if err != nil {
@@ -234,4 +249,72 @@ func (s *Spec) compileDatacenter() (*Compiled, error) {
 		pr.Plan = plan
 	}
 	return &Compiled{Spec: s, Plan: pr}, nil
+}
+
+// clusterConfig lowers the cluster form into the engine's Config. The
+// result is deterministic: the same spec lowers to the same timeline —
+// and the same lowered migration scenarios, the run-cache keys — in
+// every session.
+func (s *Spec) clusterConfig() (cluster.Config, error) {
+	kind, err := s.kind()
+	if err != nil {
+		return cluster.Config{}, errf(s.Name, "kind", "%v", err)
+	}
+	c := s.Cluster
+	cfg := cluster.Config{
+		Kind:    kind,
+		Horizon: time.Duration(c.HorizonS * float64(time.Second)),
+		Tick:    time.Duration(c.TickS * float64(time.Second)),
+		Seed:    s.EffectiveSeed(),
+	}
+	switch c.Policy {
+	case PolicyEnergyAware:
+		cfg.Policy = consolidation.EnergyAware{Model: consolidation.HeuristicCost{}}
+	case PolicyFirstFit:
+		cfg.Policy = consolidation.FirstFitDecreasing{Model: consolidation.HeuristicCost{}}
+	case "":
+	default:
+		return cluster.Config{}, errf(s.Name, "cluster.policy", "unknown policy %q", c.Policy)
+	}
+	cfg.PolicyConfig = consolidation.Config{
+		CPUCap:   c.CPUCap,
+		MaxMoves: c.MaxMoves,
+		Horizon:  time.Duration(c.PaybackS * float64(time.Second)),
+	}
+	for _, h := range c.Hosts {
+		ch := cluster.Host{Name: h.Name, Machine: h.Machine}
+		for _, v := range h.VMs {
+			cv := cluster.VM{
+				Name:       v.Name,
+				MemBytes:   gib(v.MemGiB),
+				BusyVCPUs:  v.BusyVCPUs,
+				DirtyRatio: units.Fraction(v.DirtyRatio),
+			}
+			for _, p := range v.Phases {
+				cv.Phases = append(cv.Phases, p.phase())
+			}
+			ch.VMs = append(ch.VMs, cv)
+		}
+		cfg.Hosts = append(cfg.Hosts, ch)
+	}
+	for _, m := range c.Moves {
+		cfg.Moves = append(cfg.Moves, cluster.TimedMove{
+			VM: m.VM, From: m.From, To: m.To,
+			At: time.Duration(m.AtS * float64(time.Second)),
+		})
+	}
+	return cfg, nil
+}
+
+// compileCluster lowers the cluster form of the spec.
+func (s *Spec) compileCluster() (*Compiled, error) {
+	cfg, err := s.clusterConfig()
+	if err != nil {
+		return nil, err
+	}
+	policy := "timeline"
+	if cfg.Policy != nil {
+		policy = cfg.Policy.Name()
+	}
+	return &Compiled{Spec: s, Cluster: &ClusterRun{Policy: policy, Config: cfg}}, nil
 }

@@ -5,9 +5,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
@@ -31,11 +33,35 @@ type goldenMove struct {
 	Bytes     int64   `json:"bytes"`
 }
 
+// goldenClusterMove is the pinned outcome of one cluster-timeline
+// migration: placement, timing, contention stretch and adjusted energy.
+type goldenClusterMove struct {
+	VM      string  `json:"vm"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Pair    string  `json:"pair"`
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+	Stretch float64 `json:"stretch"`
+	EnergyJ float64 `json:"energy_j"`
+	Bytes   int64   `json:"bytes"`
+}
+
+// goldenCluster pins one cluster timeline: its migrations in dispatch
+// order plus the end state.
+type goldenCluster struct {
+	Timeline  []goldenClusterMove `json:"timeline"`
+	TotalJ    float64             `json:"total_j"`
+	MakespanS float64             `json:"makespan_s"`
+	Freed     []string            `json:"freed,omitempty"`
+}
+
 // golden pins the whole library: block label -> outcome, scenario name ->
-// executed moves.
+// executed moves, scenario name -> cluster timeline.
 type golden struct {
-	Blocks map[string]goldenBlock  `json:"blocks"`
-	Moves  map[string][]goldenMove `json:"moves"`
+	Blocks   map[string]goldenBlock   `json:"blocks"`
+	Moves    map[string][]goldenMove  `json:"moves"`
+	Clusters map[string]goldenCluster `json:"clusters,omitempty"`
 }
 
 // runLibrary executes every committed scenario with a shared cache and
@@ -50,11 +76,34 @@ func runLibrary(t *testing.T) *golden {
 		t.Fatalf("library has %d scenarios, the tentpole demands >= 10", len(specs))
 	}
 	cache := sim.NewCache(0)
-	out := &golden{Blocks: map[string]goldenBlock{}, Moves: map[string][]goldenMove{}}
+	out := &golden{Blocks: map[string]goldenBlock{}, Moves: map[string][]goldenMove{}, Clusters: map[string]goldenCluster{}}
 	for _, s := range specs {
 		c, err := s.Compile()
 		if err != nil {
 			t.Fatalf("compiling %s: %v", s.Name, err)
+		}
+		if c.Cluster != nil {
+			cfg := c.Cluster.Config
+			cfg.Cache = cache
+			rep, err := cluster.Run(cfg)
+			if err != nil {
+				t.Fatalf("running cluster %s: %v", s.Name, err)
+			}
+			gc := goldenCluster{
+				TotalJ:    float64(rep.TotalEnergy),
+				MakespanS: rep.Makespan.Seconds(),
+				Freed:     rep.FreedHosts,
+			}
+			for _, mv := range rep.Timeline {
+				gc.Timeline = append(gc.Timeline, goldenClusterMove{
+					VM: mv.VM, From: mv.From, To: mv.To, Pair: mv.Pair,
+					StartS: mv.Start.Seconds(), EndS: mv.End.Seconds(),
+					Stretch: mv.Stretch, EnergyJ: float64(mv.Energy),
+					Bytes: int64(mv.BytesSent),
+				})
+			}
+			out.Clusters[s.Name] = gc
+			continue
 		}
 		if c.Plan != nil {
 			ex := c.Plan.Executor
@@ -158,6 +207,21 @@ func TestLibraryGolden(t *testing.T) {
 			t.Errorf("new plan %q not in golden file; run -update", name)
 		}
 	}
+	for name, gc := range want.Clusters {
+		g, ok := got.Clusters[name]
+		if !ok {
+			t.Errorf("cluster %q in golden file but not produced", name)
+			continue
+		}
+		if !reflect.DeepEqual(g, gc) {
+			t.Errorf("cluster %q drifted:\n  got  %+v\n  want %+v", name, g, gc)
+		}
+	}
+	for name := range got.Clusters {
+		if _, ok := want.Clusters[name]; !ok {
+			t.Errorf("new cluster %q not in golden file; run -update", name)
+		}
+	}
 }
 
 // TestLibraryRoundTrips is the CI gate behind `wavm3scen -check`: every
@@ -173,7 +237,7 @@ func TestLibraryRoundTrips(t *testing.T) {
 			t.Errorf("%s does not compile: %v", s.Name, err)
 			continue
 		}
-		if len(c.Runs) == 0 && c.Plan == nil {
+		if len(c.Runs) == 0 && c.Plan == nil && c.Cluster == nil {
 			t.Errorf("%s compiled to nothing", s.Name)
 		}
 		// Re-marshalling and re-loading must compile to identical runs —
@@ -195,6 +259,9 @@ func TestLibraryRoundTrips(t *testing.T) {
 			if c.Runs[i].Scenario != cb.Runs[i].Scenario {
 				t.Errorf("%s run %d changed across a JSON round-trip", s.Name, i)
 			}
+		}
+		if c.Cluster != nil && !reflect.DeepEqual(c.Cluster, cb.Cluster) {
+			t.Errorf("%s cluster timeline changed across a JSON round-trip", s.Name)
 		}
 	}
 }

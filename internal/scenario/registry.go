@@ -109,8 +109,11 @@ type Info struct {
 	Name, Description string
 	// File is the path the spec was loaded from.
 	File string
-	// Datacenter reports the scenario form (plan vs single migration).
+	// Datacenter reports the data-centre plan form.
 	Datacenter bool
+	// Cluster is the host count of an N-host cluster timeline (0 for
+	// the other forms).
+	Cluster int
 	// Phases is the phase count (0 for single-block scenarios).
 	Phases int
 }
@@ -123,13 +126,17 @@ func List(dir string) ([]Info, error) {
 	}
 	out := make([]Info, 0, len(specs))
 	for i, s := range specs {
-		out = append(out, Info{
+		in := Info{
 			Name:        s.Name,
 			Description: s.Description,
 			File:        files[i],
 			Datacenter:  s.Datacenter != nil,
 			Phases:      len(s.Phases),
-		})
+		}
+		if s.Cluster != nil {
+			in.Cluster = len(s.Cluster.Hosts)
+		}
+		out = append(out, in)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/hw"
@@ -89,6 +91,13 @@ type Spec struct {
 	// population whose consolidation plan is executed move by move as
 	// measured migrations (dcsim). Mutually exclusive with Migrating.
 	Datacenter *Datacenter `json:"datacenter,omitempty"`
+	// Cluster turns the spec into an N-host discrete-event timeline: a
+	// host population built from hw catalog machine models, evolved
+	// through policy ticks, timed migrations and workload phase
+	// transitions, with concurrent migrations contending on shared
+	// links (internal/cluster). Mutually exclusive with Migrating and
+	// Datacenter.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 }
 
 // Guest describes the migrating VM.
@@ -176,6 +185,42 @@ type PhaseSpec struct {
 	// migration is sampled, in [0, 1]; nil selects 0.5 (the midpoint — the
 	// burst peak, midday of a diurnal phase, halfway up a ramp).
 	At *float64 `json:"at,omitempty"`
+}
+
+// validate checks the phase's fields under the given path, naming the
+// field that is actually wrong. sampled marks contexts where the phase
+// is sampled at one position (migration timelines); cluster VM phases
+// play out continuously, so "at" is rejected there.
+func (p PhaseSpec) validate(name, path string, sampled bool) error {
+	ph := p.phase()
+	switch ph.Kind {
+	case workload.PhaseSteady, workload.PhaseBurst, workload.PhaseDiurnal, workload.PhaseRamp:
+	default:
+		return errf(name, path+".kind", "unknown phase kind %q (want one of %v)", p.Kind, workload.PhaseKinds())
+	}
+	if p.DurationS <= 0 {
+		return errf(name, path+".duration_s", "must be positive, got %v", p.DurationS)
+	}
+	if p.Level < 0 {
+		return errf(name, path+".level", "must be non-negative, got %v", p.Level)
+	}
+	if p.Peak < 0 {
+		return errf(name, path+".peak", "must be non-negative, got %v", p.Peak)
+	}
+	// Belt and braces: the lowered phase must agree.
+	if err := ph.Validate(); err != nil {
+		return errf(name, path, "%v", err)
+	}
+	if !sampled {
+		if p.At != nil {
+			return errf(name, path+".at", "meaningless for a cluster VM phase (the timeline plays out continuously)")
+		}
+		return nil
+	}
+	if at := p.at(); at < 0 || at > 1 {
+		return errf(name, path+".at", "%v outside [0, 1]", at)
+	}
+	return nil
 }
 
 // phase lowers the JSON form into the workload package's Phase.
@@ -341,6 +386,68 @@ type MoveSpec struct {
 	To   string `json:"to"`
 }
 
+// ClusterSpec is the host population and timeline of a cluster
+// scenario.
+type ClusterSpec struct {
+	// HorizonS bounds the observed timeline in simulated seconds: policy
+	// ticks fire strictly below it and phase transitions are recorded up
+	// to it. Required with a policy; optional for explicit timelines.
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	// TickS is the re-planning period in seconds (required with a
+	// policy).
+	TickS float64 `json:"tick_s,omitempty"`
+	// Policy re-plans the cluster every tick: "energy-aware" (priced
+	// with the deterministic heuristic cost model) or
+	// "first-fit-decreasing". Empty runs the explicit Moves instead.
+	Policy string `json:"policy,omitempty"`
+	// CPUCap, MaxMoves and PaybackS bound each planning round (see
+	// consolidation.Config; PaybackS is its amortisation horizon).
+	CPUCap   float64 `json:"cpu_cap,omitempty"`
+	MaxMoves int     `json:"max_moves,omitempty"`
+	PaybackS float64 `json:"payback_s,omitempty"`
+	// Hosts is the cluster population.
+	Hosts []ClusterHostSpec `json:"hosts"`
+	// Moves is the explicit migration timeline (mutually exclusive with
+	// Policy). Moves sharing an instant start concurrently and contend
+	// on shared links.
+	Moves []TimedMoveSpec `json:"moves,omitempty"`
+}
+
+// ClusterHostSpec is one host of a cluster scenario.
+type ClusterHostSpec struct {
+	Name string `json:"name"`
+	// Machine names the hw catalog model the host is an instance of; it
+	// supplies capacity, idle power and the switch (the link-contention
+	// domain).
+	Machine string `json:"machine"`
+	// VMs are the initially resident guests.
+	VMs []ClusterVMSpec `json:"vms,omitempty"`
+}
+
+// ClusterVMSpec is one guest of a cluster scenario.
+type ClusterVMSpec struct {
+	Name string `json:"name"`
+	// MemGiB is the VM memory size in GiB.
+	MemGiB float64 `json:"mem_gib"`
+	// BusyVCPUs is the baseline CPU demand in busy-vCPU units.
+	BusyVCPUs float64 `json:"busy_vcpus,omitempty"`
+	// DirtyRatio is the baseline memory dirtying ratio.
+	DirtyRatio float64 `json:"dirty_ratio,omitempty"`
+	// Phases optionally modulates the baseline over cluster time (same
+	// shapes as migration-scenario phases; the "at" sampling field is
+	// meaningless here and rejected).
+	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// TimedMoveSpec is one explicit migration of a cluster timeline.
+type TimedMoveSpec struct {
+	VM   string `json:"vm"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// AtS is the dispatch instant in seconds.
+	AtS float64 `json:"at_s,omitempty"`
+}
+
 // EffectiveSeed returns the seed the scenario runs under: the explicit
 // Seed when set, otherwise a stable FNV-1a hash of the name (masked to a
 // positive value so seed arithmetic downstream never wraps surprisingly).
@@ -361,16 +468,7 @@ func (s *Spec) EffectiveSeed() int64 {
 
 // kind parses the spec's migration mechanism.
 func (s *Spec) kind() (migration.Kind, error) {
-	switch s.Kind {
-	case "", "live":
-		return migration.Live, nil
-	case "non-live":
-		return migration.NonLive, nil
-	case "post-copy":
-		return migration.PostCopy, nil
-	default:
-		return 0, fmt.Errorf("unknown migration kind %q (want live, non-live or post-copy)", s.Kind)
-	}
+	return migration.ParseKind(s.Kind)
 }
 
 // pair returns the effective machine pair name.
@@ -423,8 +521,14 @@ func (s *Spec) Validate() error {
 	if s.Seed < 0 {
 		return errf(name, "seed", "must be non-negative, got %d", s.Seed)
 	}
+	if s.Datacenter != nil && s.Cluster != nil {
+		return errf(name, "cluster", "mutually exclusive with \"datacenter\"; pick one form")
+	}
 	if s.Datacenter != nil {
 		return s.validateDatacenter(kind)
+	}
+	if s.Cluster != nil {
+		return s.validateCluster(kind)
 	}
 	return s.validateMigrationRun(name)
 }
@@ -455,29 +559,8 @@ func (s *Spec) validateMigrationRun(name string) error {
 	}
 	labels := make(map[string]int, len(s.Phases))
 	for i, p := range s.Phases {
-		// Check each field directly so the error path names the field
-		// that is actually wrong.
-		ph := p.phase()
-		switch ph.Kind {
-		case workload.PhaseSteady, workload.PhaseBurst, workload.PhaseDiurnal, workload.PhaseRamp:
-		default:
-			return errf(name, fmt.Sprintf("phases[%d].kind", i), "unknown phase kind %q (want one of %v)", p.Kind, workload.PhaseKinds())
-		}
-		if p.DurationS <= 0 {
-			return errf(name, fmt.Sprintf("phases[%d].duration_s", i), "must be positive, got %v", p.DurationS)
-		}
-		if p.Level < 0 {
-			return errf(name, fmt.Sprintf("phases[%d].level", i), "must be non-negative, got %v", p.Level)
-		}
-		if p.Peak < 0 {
-			return errf(name, fmt.Sprintf("phases[%d].peak", i), "must be non-negative, got %v", p.Peak)
-		}
-		// Belt and braces: the lowered phase must agree.
-		if err := ph.Validate(); err != nil {
-			return errf(name, fmt.Sprintf("phases[%d]", i), "%v", err)
-		}
-		if at := p.at(); at < 0 || at > 1 {
-			return errf(name, fmt.Sprintf("phases[%d].at", i), "%v outside [0, 1]", at)
+		if err := p.validate(name, fmt.Sprintf("phases[%d]", i), true); err != nil {
+			return err
 		}
 		// Phase labels become run labels and scenario names; collisions
 		// would make two blocks indistinguishable in every report.
@@ -620,6 +703,149 @@ func (s *Spec) validateDatacenter(kind migration.Kind) error {
 		// The dcsim executor derives per-move scenarios itself; overrides
 		// that would silently not apply are rejected.
 		return errf(name, "meter/migration/timing", "unused in data-centre scenarios")
+	}
+	return nil
+}
+
+// Cluster policy names.
+const (
+	PolicyEnergyAware = "energy-aware"
+	PolicyFirstFit    = "first-fit-decreasing"
+)
+
+// validateCluster checks the cluster form of the spec.
+func (s *Spec) validateCluster(kind migration.Kind) error {
+	name := s.Name
+	if s.Pair != "" {
+		return errf(name, "pair", "unused in cluster scenarios (host machine models define the topology)")
+	}
+	if s.Migrating.Workload.Profile != "" || s.Migrating.Type != "" {
+		return errf(name, "migrating", "unused in cluster scenarios (the timeline's moves select the workloads)")
+	}
+	if len(s.Phases) > 0 {
+		return errf(name, "phases", "unused in cluster scenarios (phase timelines live on the cluster's VMs)")
+	}
+	if s.SourceLoadVMs != 0 || s.TargetLoadVMs != 0 {
+		return errf(name, "source_load_vms/target_load_vms", "unused in cluster scenarios (host load comes from the resident VMs)")
+	}
+	if s.LoadWorkload != nil {
+		return errf(name, "load_workload", "unused in cluster scenarios")
+	}
+	if s.Repeat != nil {
+		return errf(name, "repeat", "unused in cluster scenarios (each migration runs once)")
+	}
+	if s.Meter != nil || s.Migration != nil || s.Timing != nil {
+		return errf(name, "meter/migration/timing", "unused in cluster scenarios")
+	}
+	if kind == migration.PostCopy {
+		return errf(name, "kind", "post-copy is not supported for cluster timelines")
+	}
+	c := s.Cluster
+	if len(c.Hosts) == 0 {
+		return errf(name, "cluster.hosts", "required")
+	}
+	switch c.Policy {
+	case "", PolicyEnergyAware, PolicyFirstFit:
+	default:
+		return errf(name, "cluster.policy", "unknown policy %q (want %q or %q)", c.Policy, PolicyEnergyAware, PolicyFirstFit)
+	}
+	if c.HorizonS < 0 {
+		return errf(name, "cluster.horizon_s", "must be non-negative, got %v", c.HorizonS)
+	}
+	if c.Policy == "" {
+		switch {
+		case len(c.Moves) == 0:
+			return errf(name, "cluster.moves", "required without a policy (an empty timeline measures nothing)")
+		case c.TickS != 0:
+			return errf(name, "cluster.tick_s", "needs a policy to tick")
+		case c.CPUCap != 0 || c.MaxMoves != 0 || c.PaybackS != 0:
+			return errf(name, "cluster.cpu_cap/max_moves/payback_s", "bound planning rounds and need a policy")
+		}
+	} else {
+		switch {
+		case len(c.Moves) > 0:
+			return errf(name, "cluster.moves", "mutually exclusive with a policy")
+		case c.TickS <= 0:
+			return errf(name, "cluster.tick_s", "must be positive with a policy, got %v", c.TickS)
+		case c.HorizonS <= 0:
+			return errf(name, "cluster.horizon_s", "must be positive with a policy, got %v", c.HorizonS)
+		case len(c.Hosts) < 2:
+			return errf(name, "cluster.hosts", "planning needs at least 2 hosts, got %d", len(c.Hosts))
+		case c.CPUCap < 0 || c.CPUCap > 1:
+			return errf(name, "cluster.cpu_cap", "%v outside [0, 1]", c.CPUCap)
+		case c.MaxMoves < 0:
+			return errf(name, "cluster.max_moves", "must be non-negative, got %d", c.MaxMoves)
+		case c.PaybackS < 0:
+			return errf(name, "cluster.payback_s", "must be non-negative, got %v", c.PaybackS)
+		}
+	}
+	cat := hw.Catalog()
+	hostSet := make(map[string]bool, len(c.Hosts))
+	vmSet := make(map[string]bool)
+	for hi, h := range c.Hosts {
+		path := fmt.Sprintf("cluster.hosts[%d]", hi)
+		if h.Name == "" {
+			return errf(name, path+".name", "required")
+		}
+		if hostSet[h.Name] {
+			return errf(name, path+".name", "duplicate host %q", h.Name)
+		}
+		hostSet[h.Name] = true
+		if _, ok := cat[h.Machine]; !ok {
+			models := make([]string, 0, len(cat))
+			for m := range cat {
+				models = append(models, m)
+			}
+			sort.Strings(models)
+			return errf(name, path+".machine", "unknown machine model %q (catalog: %s)", h.Machine, strings.Join(models, ", "))
+		}
+		for vi, v := range h.VMs {
+			vpath := fmt.Sprintf("%s.vms[%d]", path, vi)
+			switch {
+			case v.Name == "":
+				return errf(name, vpath+".name", "required")
+			case vmSet[v.Name]:
+				return errf(name, vpath+".name", "VM %q already exists in the cluster", v.Name)
+			case v.MemGiB <= 0:
+				return errf(name, vpath+".mem_gib", "must be positive, got %v", v.MemGiB)
+			case v.BusyVCPUs < 0:
+				return errf(name, vpath+".busy_vcpus", "must be non-negative, got %v", v.BusyVCPUs)
+			case v.DirtyRatio < 0 || v.DirtyRatio > 1:
+				return errf(name, vpath+".dirty_ratio", "%v outside [0, 1]", v.DirtyRatio)
+			}
+			vmSet[v.Name] = true
+			for pi, p := range v.Phases {
+				if err := p.validate(name, fmt.Sprintf("%s.phases[%d]", vpath, pi), false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for mi, m := range c.Moves {
+		path := fmt.Sprintf("cluster.moves[%d]", mi)
+		switch {
+		case m.VM == "":
+			return errf(name, path+".vm", "required")
+		case !vmSet[m.VM]:
+			return errf(name, path+".vm", "unknown VM %q", m.VM)
+		case !hostSet[m.From]:
+			return errf(name, path+".from", "unknown host %q", m.From)
+		case !hostSet[m.To]:
+			return errf(name, path+".to", "unknown host %q", m.To)
+		case m.From == m.To:
+			return errf(name, path+".to", "move must change hosts, both are %q", m.To)
+		case m.AtS < 0:
+			return errf(name, path+".at_s", "must be non-negative, got %v", m.AtS)
+		}
+	}
+	// Belt and braces: the lowered cluster config must satisfy the
+	// engine's own validation too (switch topology, move targets, …).
+	cfg, err := s.clusterConfig()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return errf(name, "(compiled)", "%v", err)
 	}
 	return nil
 }
