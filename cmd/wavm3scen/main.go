@@ -99,6 +99,7 @@ func main() {
 
 	for i, c := range compiled {
 		t0 := time.Now()
+		hits0, misses0 := cache.Stats()
 		switch {
 		case c.Cluster != nil:
 			execCluster(specs[i], c.Cluster, common.Workers, cache)
@@ -107,7 +108,10 @@ func main() {
 		default:
 			execRuns(specs[i], c.Runs, common.Workers, cache)
 		}
-		perf.Add(specs[i].Name, time.Since(t0))
+		// Per-artefact cache effectiveness: this scenario's share of the
+		// session cache traffic (a nil cache reads as zero lookups).
+		hits1, misses1 := cache.Stats()
+		perf.AddWithCache(specs[i].Name, time.Since(t0), hits1-hits0, misses1-misses0)
 	}
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {

@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"repro/internal/consolidation"
+	"repro/internal/migration"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // BenchmarkClusterTimeline measures a full 8-host policy-driven
@@ -37,3 +42,69 @@ func BenchmarkClusterTimelineUncached(b *testing.B) {
 		}
 	}
 }
+
+// benchFleet builds an n-host single-switch consolidation fixture that
+// scales the scheduler's load with n: every fourth host runs a nearly
+// idle straggler the energy-aware policy drains, the rest carry
+// moderate phased load, so the first tick dispatches ~n/4 concurrent
+// migrations that all contend on one switch — the worst case for the
+// event loop (flight count, occupancy churn and snapshot size all grow
+// with n).
+func benchFleet(n int) Config {
+	hosts := make([]Host, n)
+	for i := range hosts {
+		name := fmt.Sprintf("h%04d", i)
+		if i%4 == 3 {
+			hosts[i] = Host{Name: name, Machine: "m02", VMs: []VM{{
+				Name: fmt.Sprintf("idle%04d", i), MemBytes: gib(4),
+				BusyVCPUs: 1, DirtyRatio: 0.05,
+			}}}
+			continue
+		}
+		vm := VM{
+			Name: fmt.Sprintf("app%04d", i), MemBytes: gib(4),
+			BusyVCPUs: 6 + float64(i%3)*2, DirtyRatio: 0.1,
+		}
+		if i%8 == 0 {
+			vm.Phases = []workload.Phase{{Kind: workload.PhaseDiurnal, Duration: 24 * time.Hour, Level: 0.4, Peak: 1}}
+		}
+		hosts[i] = Host{Name: name, Machine: "m01", VMs: []VM{vm}}
+	}
+	return Config{
+		Kind:         migration.Live,
+		Hosts:        hosts,
+		Policy:       consolidation.EnergyAware{Model: consolidation.HeuristicCost{}},
+		PolicyConfig: consolidation.Config{Horizon: 24 * time.Hour},
+		Tick:         30 * time.Minute,
+		Horizon:      2 * time.Hour,
+		Seed:         7,
+	}
+}
+
+// benchTimeline runs the n-host fixture with a cache shared across
+// iterations (like BenchmarkClusterTimeline): the first iteration pays
+// the kernel runs, later ones measure the scheduling core.
+func benchTimeline(b *testing.B, n int) {
+	cache := sim.NewCache(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFleet(n)
+		cfg.Cache = cache
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.PeakFlights < n/8 {
+			b.Fatalf("peak flights %d at %d hosts; fixture drift, the link is not contended", rep.PeakFlights, n)
+		}
+	}
+}
+
+// BenchmarkClusterTimeline64/256/1024 prove the scaling curve of the
+// heap scheduler: wall clock per timeline must grow near-linearly in
+// fleet size (the linear-scan loop grew quadratically). 1024 hosts is
+// the ISSUE 5 target: a full policy-driven timeline in single-digit
+// seconds.
+func BenchmarkClusterTimeline64(b *testing.B)   { benchTimeline(b, 64) }
+func BenchmarkClusterTimeline256(b *testing.B)  { benchTimeline(b, 256) }
+func BenchmarkClusterTimeline1024(b *testing.B) { benchTimeline(b, 1024) }

@@ -145,14 +145,16 @@ type resolved struct {
 }
 
 // resolve fills the host's capacity fields from its machine model and
-// validates the result.
-func (h Host) resolve() (resolved, error) {
+// validates the result. The catalog is passed in because fleet-scale
+// configs resolve thousands of hosts per run and hw.Catalog builds a
+// fresh map per call.
+func (h Host) resolve(cat map[string]hw.MachineSpec) (resolved, error) {
 	out := resolved{Host: h}
 	if h.Name == "" {
 		return out, errors.New("cluster: host has no name")
 	}
 	if h.Machine != "" {
-		spec, ok := hw.Catalog()[h.Machine]
+		spec, ok := cat[h.Machine]
 		if !ok {
 			return out, fmt.Errorf("cluster: host %s: unknown machine model %q", h.Name, h.Machine)
 		}
@@ -243,6 +245,12 @@ type Config struct {
 	Workers int
 	// Cache optionally memoizes migration simulations (see sim.NewCache).
 	Cache *sim.Cache
+
+	// referenceScan selects the retained linear-scan scheduler (O(F²)
+	// per event) instead of the heap scheduler. Test-only: the
+	// equivalence property test runs every fleet through both and
+	// demands bit-identical reports.
+	referenceScan bool
 }
 
 // Validate rejects unusable configurations. It is called by Run; callers
@@ -266,12 +274,13 @@ func (c Config) Validate() error {
 			return fmt.Errorf("cluster: pair %q spans switches %q and %q and cannot migrate", c.Pair, src.Switch, dst.Switch)
 		}
 	}
-	names := map[string]bool{}
-	switches := map[string]string{} // declared link-contention domain
-	physical := map[string]string{} // the machine model's physical switch
+	cat := hw.Catalog()
+	names := make(map[string]bool, len(c.Hosts))
+	switches := make(map[string]string, len(c.Hosts)) // declared link-contention domain
+	physical := make(map[string]string, len(c.Hosts)) // the machine model's physical switch
 	vms := map[string]bool{}
 	for _, h := range c.Hosts {
-		r, err := h.resolve()
+		r, err := h.resolve(cat)
 		if err != nil {
 			return err
 		}
@@ -290,7 +299,7 @@ func (c Config) Validate() error {
 		// pair past the reachability guards below.
 		physical[r.Name] = r.sw
 		if c.Pair == "" {
-			physical[r.Name] = hw.Catalog()[h.Machine].Switch
+			physical[r.Name] = cat[h.Machine].Switch
 		}
 		for _, v := range h.VMs {
 			if vms[v.Name] {
@@ -373,9 +382,10 @@ func (c Config) Validate() error {
 
 // sortedHosts returns the resolved hosts in name order.
 func (c Config) sortedHosts() ([]*resolved, error) {
+	cat := hw.Catalog()
 	out := make([]*resolved, 0, len(c.Hosts))
 	for _, h := range c.Hosts {
-		r, err := h.resolve()
+		r, err := h.resolve(cat)
 		if err != nil {
 			return nil, err
 		}

@@ -25,13 +25,60 @@ const seedStride = 607
 type hostRT struct {
 	*resolved
 	vms []*vmRT
+	// incoming lists the flights bound for this host, in dispatch order
+	// (append at dispatch, remove at land), so snapshots place their
+	// destination reservations without rebuilding a map per tick.
+	incoming []*flight
+	// snap is the host's persistent snapshot scratch: the VMState slice
+	// handed to the policy every tick, reused across rounds.
+	snap []consolidation.VMState
 }
 
-// vmRT is a guest's runtime state.
+// vmRT is a guest's runtime state, including the phase cursor that makes
+// repeated busyAt/dirtyAt evaluation O(1) for the engine's monotonically
+// advancing clock instead of a front-to-back walk per call.
 type vmRT struct {
 	VM
 	host      *hostRT
 	migrating bool
+	// Phase cursor: pi is the phase the last evaluation landed in,
+	// pstart the cluster time that phase starts at. A query before
+	// pstart (the final report snapshot can rewind) resets the cursor.
+	pi     int
+	pstart time.Duration
+}
+
+// factor evaluates the VM's intensity at cluster time t through the
+// cursor. It computes exactly what VM.factor computes — same integer
+// offsets, same float division — but resumes from the last phase
+// instead of walking the timeline from the front on every call.
+func (v *vmRT) factor(t time.Duration) float64 {
+	if len(v.Phases) == 0 {
+		return 1
+	}
+	if t < v.pstart {
+		v.pi, v.pstart = 0, 0
+	}
+	for v.pi < len(v.Phases) {
+		d := v.Phases[v.pi].Duration
+		if off := t - v.pstart; off < d {
+			return v.Phases[v.pi].Factor(float64(off) / float64(d))
+		}
+		v.pi++
+		v.pstart += d
+	}
+	return v.Phases[len(v.Phases)-1].Factor(1)
+}
+
+// busyAt returns the VM's CPU demand at cluster time t.
+func (v *vmRT) busyAt(t time.Duration) float64 {
+	return v.BusyVCPUs * v.factor(t)
+}
+
+// dirtyAt returns the VM's dirty ratio at cluster time t, clamped to a
+// physical fraction.
+func (v *vmRT) dirtyAt(t time.Duration) units.Fraction {
+	return units.Fraction(float64(v.DirtyRatio) * v.factor(t)).Clamp()
 }
 
 // busyAtExcluding sums the host's CPU demand at time t, leaving out one
@@ -63,6 +110,7 @@ type flight struct {
 	from, to *hostRT
 	sw       string
 	pair     string
+	resName  string // vm.Name + "+incoming", precomputed for snapshots
 	run      *sim.RunResult
 
 	state            int
@@ -72,6 +120,13 @@ type flight struct {
 	intrinsic        time.Duration // total intrinsic transfer time
 	tailSpan         time.Duration
 	transferEnd, end time.Duration
+
+	// Scheduler bookkeeping: the fixed-instant key while in the timed
+	// heap (head/tail), the virtual completion key while in a switch
+	// heap (transfer), and the current heap position.
+	due      time.Duration
+	virtDone time.Duration
+	heapIdx  int
 }
 
 // indexedRec pairs a finished migration record with its dispatch index
@@ -91,10 +146,26 @@ type engine struct {
 	pending []TimedMove
 	shifts  []PhaseShift
 	si      int
-	flights []*flight
 	nextIdx int
 	recs    []indexedRec
 	rep     *Report
+
+	// Scheduling state (see schedule.go): fixed-instant events in one
+	// indexed min-heap, transfers per switch in virtual time.
+	timed    flightHeap
+	switches map[string]*swState
+	active   []*swState
+	due      []*flight // per-fire scratch, reused
+	inFlight int
+	peak     int
+
+	// flights is the linear reference scheduler's state, maintained only
+	// when cfg.referenceScan asks for the retained O(F²) loop.
+	flights []*flight
+
+	// Snapshot scratch, reused every policy round.
+	snapHosts  []consolidation.HostState
+	snapPinned []string
 }
 
 // Run executes one cluster timeline to completion and returns its
@@ -120,10 +191,12 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 	e := &engine{
-		cfg:    cfg,
-		byName: make(map[string]*hostRT, len(hosts)),
-		vms:    make(map[string]*vmRT),
-		rep:    &Report{},
+		cfg:      cfg,
+		byName:   make(map[string]*hostRT, len(hosts)),
+		vms:      make(map[string]*vmRT),
+		rep:      &Report{},
+		timed:    flightHeap{key: dueKey},
+		switches: make(map[string]*swState),
 	}
 	for _, r := range hosts {
 		h := &hostRT{resolved: r}
@@ -135,6 +208,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.hosts = append(e.hosts, h)
 		e.byName[h.Name] = h
 	}
+	e.snapHosts = make([]consolidation.HostState, 0, len(e.hosts))
 	// Explicit moves dispatch in (At, spec order); the stable sort keeps
 	// same-instant moves in the order the author wrote them.
 	e.pending = append([]TimedMove(nil), cfg.Moves...)
@@ -179,13 +253,21 @@ func phaseLabel(p workload.Phase, i int) string {
 // happens, advance the shared-link transfers to it, then fire what is
 // due — completions first, then phase shifts, then new dispatches.
 func (e *engine) run() (*Report, error) {
+	next := e.nextEventTime
+	advance := e.advance
+	fire := e.fire
+	if e.cfg.referenceScan {
+		next = e.nextEventTimeScan
+		advance = e.advanceScan
+		fire = e.fireScan
+	}
 	for {
-		t, ok := e.nextEventTime()
+		t, ok := next()
 		if !ok {
 			break
 		}
-		e.advance(t)
-		if err := e.fire(t); err != nil {
+		advance(t)
+		if err := fire(t); err != nil {
 			return nil, err
 		}
 	}
@@ -193,31 +275,10 @@ func (e *engine) run() (*Report, error) {
 	return e.rep, nil
 }
 
-// occupancy counts the transfers currently sharing a switch.
-func (e *engine) occupancy(sw string) int64 {
-	n := int64(0)
-	for _, f := range e.flights {
-		if f.state == fTransfer && f.sw == sw {
-			n++
-		}
-	}
-	return n
-}
-
-// flightEventTime projects a flight's next transition instant under the
-// current link occupancy.
-func (e *engine) flightEventTime(f *flight) time.Duration {
-	switch f.state {
-	case fHead:
-		return f.headEnd
-	case fTransfer:
-		return e.now + f.work*time.Duration(e.occupancy(f.sw))
-	default:
-		return f.end
-	}
-}
-
-// nextEventTime returns the earliest instant with something due.
+// nextEventTime returns the earliest instant with something due: the
+// next policy tick, explicit dispatch or phase shift (each O(1)), the
+// top of the fixed-instant event heap, and each traffic-carrying
+// switch's projected next transfer completion (O(1) per switch).
 func (e *engine) nextEventTime() (time.Duration, bool) {
 	t, ok := time.Duration(math.MaxInt64), false
 	consider := func(c time.Duration) {
@@ -235,27 +296,26 @@ func (e *engine) nextEventTime() (time.Duration, bool) {
 	if e.si < len(e.shifts) {
 		consider(e.shifts[e.si].At)
 	}
-	for _, f := range e.flights {
-		consider(e.flightEventTime(f))
+	if len(e.timed.fs) > 0 {
+		consider(e.timed.fs[0].due)
+	}
+	for _, s := range e.active {
+		consider(s.nextAt(e.now))
 	}
 	return t, ok
 }
 
-// advance moves the clock to t, draining every in-flight transfer by
-// its equal share of the elapsed span. Occupancy is constant between
-// events, so the sharing arithmetic is exact integer division; a due
-// flight's remaining work reaches exactly zero.
+// advance moves the clock to t, draining every traffic-carrying switch
+// by its equal share of the elapsed span: virt += dt/occ, one integer
+// division per switch instead of one per flight. Occupancy is constant
+// between events, so the division is the exact floor the linear
+// reference applies to each flight's remaining work; a due flight's
+// remaining work (virtDone − virt) reaches exactly zero.
 func (e *engine) advance(t time.Duration) {
 	dt := t - e.now
 	if dt > 0 {
-		for _, f := range e.flights {
-			if f.state != fTransfer {
-				continue
-			}
-			f.work -= dt / time.Duration(e.occupancy(f.sw))
-			if f.work < 0 {
-				f.work = 0
-			}
+		for _, s := range e.active {
+			s.virt += dt / s.occ()
 		}
 	}
 	e.now = t
@@ -263,42 +323,65 @@ func (e *engine) advance(t time.Duration) {
 
 // transition advances one flight through every lifecycle phase due at
 // instant t (a flight may cascade through zero-span phases within one
-// instant) and reports whether it landed.
-func (e *engine) transition(f *flight, t time.Duration) (landed bool) {
+// instant), re-registering it with the scheduler wherever it comes to
+// rest. Callers hand in flights already removed from their heap.
+func (e *engine) transition(f *flight, t time.Duration) {
 	for {
 		switch f.state {
 		case fHead:
 			if f.headEnd > t {
-				return false
+				e.timedPush(f, f.headEnd)
+				return
 			}
 			f.state = fTransfer
-		case fTransfer:
 			if f.work > 0 {
-				return false
+				s := e.switchState(f.sw)
+				f.virtDone = s.virt + f.work
+				s.heap.push(f)
+				e.activate(s)
+				return
 			}
+			// Zero-length transfer: complete in the same instant, exactly
+			// like the linear loop's cascade.
+		case fTransfer:
+			// Only reached when the transfer is complete at t: popped from
+			// its switch heap by fire, or cascading with zero work.
 			f.transferEnd = t
 			f.state = fTail
 			f.end = t + f.tailSpan
 		default:
 			if f.end > t {
-				return false
+				e.timedPush(f, f.end)
+				return
 			}
 			e.land(f, t)
-			return true
+			return
 		}
 	}
 }
 
 // fire processes everything due at instant t.
 func (e *engine) fire(t time.Duration) error {
-	// 1. Flight transitions, in dispatch order.
-	kept := e.flights[:0]
-	for _, f := range e.flights {
-		if !e.transition(f, t) {
-			kept = append(kept, f)
+	// 1. Flight transitions. Collect every due flight — fixed-instant
+	// head/tail events from the timed heap, transfer completions from
+	// each active switch's virtual-time heap — then process them in
+	// dispatch order, matching the linear reference.
+	e.due = e.due[:0]
+	for len(e.timed.fs) > 0 && e.timed.fs[0].due <= t {
+		e.due = append(e.due, e.timed.pop())
+	}
+	for _, s := range e.active {
+		for len(s.heap.fs) > 0 && s.heap.fs[0].virtDone <= s.virt {
+			e.due = append(e.due, s.heap.pop())
 		}
 	}
-	e.flights = kept
+	if len(e.due) > 1 {
+		sort.Slice(e.due, func(i, j int) bool { return e.due[i].idx < e.due[j].idx })
+	}
+	for _, f := range e.due {
+		e.transition(f, t)
+	}
+	e.compactActive()
 
 	// 2. Workload phase transitions.
 	for e.si < len(e.shifts) && e.shifts[e.si].At <= t {
@@ -307,6 +390,12 @@ func (e *engine) fire(t time.Duration) error {
 	}
 
 	// 3. New dispatches: the policy tick's plan, then explicit moves.
+	return e.dispatchDue(t)
+}
+
+// dispatchDue runs the policy round and explicit moves due at instant t
+// and dispatches the resulting batch. Shared by both schedulers.
+func (e *engine) dispatchDue(t time.Duration) error {
 	var batch []TimedMove
 	if e.cfg.Policy != nil && e.tick <= t && e.tick < e.cfg.Horizon {
 		snap, pinned := e.snapshot(t)
@@ -319,7 +408,7 @@ func (e *engine) fire(t time.Duration) error {
 		for _, m := range plan.Moves {
 			batch = append(batch, TimedMove{VM: m.VM, From: m.From, To: m.To, At: t})
 		}
-		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: len(e.flights)})
+		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: e.inFlight})
 		e.tick += e.cfg.Tick
 	}
 	for len(e.pending) > 0 && e.pending[0].At <= t {
@@ -335,46 +424,46 @@ func (e *engine) fire(t time.Duration) error {
 // snapshot renders the cluster as the consolidation layer sees it at
 // time t: every resident guest with its phase-evaluated demand, with
 // in-flight guests pinned on their source and their destination
-// capacity held by a pinned reservation entry.
+// capacity held by a pinned reservation entry. The returned slices are
+// the engine's persistent scratch buffers, valid until the next
+// snapshot; policies deep-copy before planning.
 func (e *engine) snapshot(t time.Duration) ([]consolidation.HostState, []string) {
-	incoming := make(map[string][]*flight)
-	for _, f := range e.flights {
-		incoming[f.to.Name] = append(incoming[f.to.Name], f)
-	}
-	var pinned []string
-	out := make([]consolidation.HostState, 0, len(e.hosts))
+	e.snapPinned = e.snapPinned[:0]
+	out := e.snapHosts[:0]
 	for _, h := range e.hosts {
-		hs := consolidation.HostState{
-			Name:      h.Name,
-			Threads:   h.Threads,
-			MemBytes:  h.MemBytes,
-			IdlePower: h.IdlePower,
-		}
+		vms := h.snap[:0]
 		for _, v := range h.vms {
-			hs.VMs = append(hs.VMs, consolidation.VMState{
+			vms = append(vms, consolidation.VMState{
 				Name:       v.Name,
 				MemBytes:   v.MemBytes,
 				BusyVCPUs:  v.busyAt(t),
 				DirtyRatio: v.dirtyAt(t),
 			})
 			if v.migrating {
-				pinned = append(pinned, v.Name)
+				e.snapPinned = append(e.snapPinned, v.Name)
 			}
 		}
-		for _, f := range incoming[h.Name] {
-			res := f.vm.Name + "+incoming"
-			hs.VMs = append(hs.VMs, consolidation.VMState{
-				Name:       res,
+		for _, f := range h.incoming {
+			vms = append(vms, consolidation.VMState{
+				Name:       f.resName,
 				MemBytes:   f.vm.MemBytes,
 				BusyVCPUs:  f.vm.busyAt(t),
 				DirtyRatio: f.vm.dirtyAt(t),
 			})
-			pinned = append(pinned, res)
+			e.snapPinned = append(e.snapPinned, f.resName)
 		}
-		out = append(out, hs)
+		h.snap = vms
+		out = append(out, consolidation.HostState{
+			Name:      h.Name,
+			Threads:   h.Threads,
+			MemBytes:  h.MemBytes,
+			IdlePower: h.IdlePower,
+			VMs:       vms,
+		})
 	}
-	sort.Strings(pinned)
-	return out, pinned
+	e.snapHosts = out
+	sort.Strings(e.snapPinned)
+	return out, e.snapPinned
 }
 
 // lower translates one move into a two-host testbed scenario, exactly
@@ -446,10 +535,12 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 			return err
 		}
 		sc := e.lower(v, v.host, dst, t, e.nextIdx)
-		flights = append(flights, &flight{
+		f := &flight{
 			idx: e.nextIdx, vm: v, from: v.host, to: dst,
 			sw: dst.sw, pair: sc.Pair, start: t,
-		})
+			resName: v.Name + "+incoming", heapIdx: -1,
+		}
+		flights = append(flights, f)
 		scs = append(scs, sc)
 		e.nextIdx++
 		// Mark the mover immediately so a duplicate move of the same VM
@@ -458,6 +549,7 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 		// every scenario in the batch still sees the dispatch-instant
 		// state.
 		v.migrating = true
+		dst.incoming = append(dst.incoming, f)
 	}
 	runs, err := e.simulate(scs, func(i int) int { return flights[i].idx })
 	if err != nil {
@@ -471,7 +563,17 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 		f.intrinsic = f.work
 		f.tailSpan = run.Bounds.ME - run.Bounds.TE
 	}
-	e.flights = append(e.flights, flights...)
+	if e.cfg.referenceScan {
+		e.flights = append(e.flights, flights...)
+	} else {
+		for _, f := range flights {
+			e.timedPush(f, f.headEnd)
+		}
+	}
+	e.inFlight += len(flights)
+	if e.inFlight > e.peak {
+		e.peak = e.inFlight
+	}
 	return nil
 }
 
@@ -508,6 +610,13 @@ func (e *engine) apply(v *vmRT, dst *hostRT) {
 func (e *engine) land(f *flight, t time.Duration) {
 	e.apply(f.vm, f.to)
 	f.vm.migrating = false
+	for i, g := range f.to.incoming {
+		if g == f {
+			f.to.incoming = append(f.to.incoming[:i], f.to.incoming[i+1:]...)
+			break
+		}
+	}
+	e.inFlight--
 	e.recs = append(e.recs, indexedRec{idx: f.idx, rec: e.record(f, t)})
 }
 
@@ -540,14 +649,26 @@ func (e *engine) finish() {
 		if ir.rec.End > e.rep.Makespan {
 			e.rep.Makespan = ir.rec.End
 		}
+		if ir.rec.Stretch > e.rep.MaxStretch {
+			e.rep.MaxStretch = ir.rec.Stretch
+		}
 	}
+	e.rep.PeakFlights = e.peak
+	e.rep.ReplanRounds = len(e.rep.Ticks)
 	for _, h := range e.hosts {
 		if len(h.vms) == 0 {
 			e.rep.FreedHosts = append(e.rep.FreedHosts, h.Name)
 			e.rep.IdleSavings += h.IdlePower
 		}
 	}
-	e.rep.Final, _ = e.snapshot(e.rep.Makespan)
+	// The report escapes the engine; deep-copy the final placement out of
+	// the reusable snapshot scratch.
+	snap, _ := e.snapshot(e.rep.Makespan)
+	e.rep.Final = make([]consolidation.HostState, len(snap))
+	for i, h := range snap {
+		h.VMs = append([]consolidation.VMState(nil), h.VMs...)
+		e.rep.Final[i] = h
+	}
 }
 
 // runSerial executes the explicit moves one at a time in spec order —
@@ -588,6 +709,10 @@ func (e *engine) runSerial() (*Report, error) {
 			BytesSent: run.BytesSent, Rounds: run.Rounds, Downtime: run.Downtime,
 		}})
 		at += d
+	}
+	if len(moves) > 0 {
+		// Serial semantics: exactly one migration in the air at a time.
+		e.peak = 1
 	}
 	e.finish()
 	return e.rep, nil

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// randomFleet builds a seeded random — but always valid — cluster
+// timeline: single-switch machine mix, phased guests, and either an
+// explicit concurrent move schedule or a periodic policy. Dirty ratios
+// stay low so every lowered migration is a cheap CPU-type kernel run.
+func randomFleet(r *rand.Rand) Config {
+	machines := []string{"m01", "m02", "h1"} // all on one switch
+	n := 4 + r.Intn(9)
+	hosts := make([]Host, n)
+	type placed struct{ vm, host string }
+	var guests []placed
+	for i := range hosts {
+		name := fmt.Sprintf("rh%02d", i)
+		hosts[i] = Host{Name: name, Machine: machines[r.Intn(len(machines))]}
+		for v := 0; v < r.Intn(3); v++ {
+			vm := VM{
+				Name:       fmt.Sprintf("rv%02d-%d", i, v),
+				MemBytes:   gib(2 + float64(r.Intn(3))),
+				BusyVCPUs:  1 + float64(r.Intn(10)),
+				DirtyRatio: units.Fraction(0.08 * r.Float64()),
+			}
+			for p := 0; p < r.Intn(3); p++ {
+				kinds := workload.PhaseKinds()
+				vm.Phases = append(vm.Phases, workload.Phase{
+					Kind:     kinds[r.Intn(len(kinds))],
+					Duration: time.Duration(30+r.Intn(270)) * time.Second,
+					Level:    0.3 + r.Float64(),
+					Peak:     0.5 + 1.5*r.Float64(),
+				})
+			}
+			hosts[i].VMs = append(hosts[i].VMs, vm)
+			guests = append(guests, placed{vm.Name, name})
+		}
+	}
+	cfg := Config{
+		Kind:  migration.Live,
+		Hosts: hosts,
+		Seed:  r.Int63n(1 << 32),
+	}
+	if len(guests) >= 2 && r.Intn(3) == 0 {
+		// Policy variant: periodic re-planning over the random fleet.
+		if r.Intn(2) == 0 {
+			cfg.Policy = consolidation.EnergyAware{Model: consolidation.HeuristicCost{}}
+		} else {
+			cfg.Policy = consolidation.FirstFitDecreasing{Model: consolidation.HeuristicCost{}}
+		}
+		cfg.PolicyConfig = consolidation.Config{Horizon: 24 * time.Hour, MaxMoves: 1 + r.Intn(4)}
+		cfg.Tick = time.Duration(30+r.Intn(60)) * time.Second
+		cfg.Horizon = time.Duration(2+r.Intn(3)) * time.Minute
+		return cfg
+	}
+	// Explicit variant: a random subset of guests each moves once, at a
+	// random instant; same-instant moves contend on the shared switch.
+	for _, g := range guests {
+		if r.Intn(2) == 1 {
+			continue
+		}
+		to := g.host
+		for to == g.host {
+			to = hosts[r.Intn(n)].Name
+		}
+		cfg.Moves = append(cfg.Moves, TimedMove{
+			VM: g.vm, From: g.host, To: to,
+			At: time.Duration(r.Intn(4800)) * 50 * time.Millisecond,
+		})
+	}
+	if len(cfg.Moves) == 0 && len(guests) > 0 {
+		g := guests[0]
+		to := g.host
+		for to == g.host {
+			to = hosts[r.Intn(n)].Name
+		}
+		cfg.Moves = append(cfg.Moves, TimedMove{VM: g.vm, From: g.host, To: to})
+	}
+	return cfg
+}
+
+// TestSchedulerEquivalence is the tentpole's safety net: on randomized
+// fleets, the heap scheduler (indexed event heap + per-switch virtual
+// time) and the retained linear-scan reference must produce
+// bit-identical reports — the same MigrationRecord stream, tick
+// records, shifts, stretches and energies.
+func TestSchedulerEquivalence(t *testing.T) {
+	cache := sim.NewCache(0)
+	r := rand.New(rand.NewSource(20260728))
+	fleets := 0
+	for i := 0; i < 10; i++ {
+		cfg := randomFleet(r)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fleet %d: generator produced an invalid config: %v", i, err)
+		}
+		fast := cfg
+		fast.Cache = cache
+		want, err := Run(fast)
+		if err != nil {
+			t.Fatalf("fleet %d: heap scheduler: %v", i, err)
+		}
+		ref := cfg
+		ref.Cache = cache
+		ref.referenceScan = true
+		got, err := Run(ref)
+		if err != nil {
+			t.Fatalf("fleet %d: reference scheduler: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("fleet %d (policy=%v, %d moves): heap and linear-scan reports differ:\nheap: %+v\nscan: %+v",
+				i, cfg.Policy != nil, len(cfg.Moves), want, got)
+		}
+		if len(want.Timeline) > 0 {
+			fleets++
+		}
+	}
+	if fleets < 5 {
+		t.Fatalf("only %d of 10 random fleets migrated anything; generator drift weakens the property", fleets)
+	}
+}
+
+// TestFleetSummaryFields checks the report's fleet-scale aggregates on
+// a timeline with known structure: two same-instant moves on one
+// switch give peak 2 and a stretch near 2; the policy fixture reports
+// its rounds.
+func TestFleetSummaryFields(t *testing.T) {
+	rep, err := Run(explicitPair(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakFlights != 2 {
+		t.Errorf("PeakFlights = %d, want 2 (both moves dispatch at t=0)", rep.PeakFlights)
+	}
+	if rep.MaxStretch <= 1.5 {
+		t.Errorf("MaxStretch = %v, want ≈2 under a shared link", rep.MaxStretch)
+	}
+	if rep.ReplanRounds != 0 {
+		t.Errorf("ReplanRounds = %d on an explicit timeline, want 0", rep.ReplanRounds)
+	}
+
+	pol, err := Run(policyFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ReplanRounds != len(pol.Ticks) || pol.ReplanRounds == 0 {
+		t.Errorf("ReplanRounds = %d, want len(Ticks) = %d (non-zero)", pol.ReplanRounds, len(pol.Ticks))
+	}
+	if pol.PeakFlights <= 0 {
+		t.Errorf("PeakFlights = %d on a consolidating timeline, want > 0", pol.PeakFlights)
+	}
+	if pol.MaxStretch < 1 {
+		t.Errorf("MaxStretch = %v, want >= 1", pol.MaxStretch)
+	}
+
+	// Serial timelines run one migration at a time by construction.
+	serial := Config{
+		Kind: migration.Live,
+		Pair: "m01-m02",
+		Hosts: fleet("m01",
+			[]VM{vmSpec("va", 4, 0.1)},
+			nil,
+		),
+		Moves:  []TimedMove{{VM: "va", From: "h00", To: "h01"}},
+		Serial: true,
+		Seed:   9,
+	}
+	srep, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.PeakFlights != 1 {
+		t.Errorf("serial PeakFlights = %d, want 1", srep.PeakFlights)
+	}
+}
+
+// TestClusterTickAllocCeiling is the tick-path allocation-regression
+// gate: once the engine's scratch buffers are sized, rendering a policy
+// snapshot — the per-round O(H) hot path — must not allocate, even with
+// pinned in-flight guests and destination reservations in the picture.
+func TestClusterTickAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the ceiling")
+	}
+	cfg := policyFleet()
+	e, err := newEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the pinned paths: one guest in the air with its
+	// destination reservation.
+	mover := e.hosts[0].vms[0]
+	mover.migrating = true
+	dst := e.hosts[3]
+	dst.incoming = append(dst.incoming, &flight{vm: mover, resName: mover.Name + "+incoming"})
+	e.snapshot(0) // size the scratch buffers
+	tick := time.Duration(0)
+	const ceiling = 0
+	allocs := testing.AllocsPerRun(50, func() {
+		tick += 30 * time.Minute
+		e.snapshot(tick)
+	})
+	if allocs > ceiling {
+		t.Errorf("snapshot allocates %.0f times per policy round, ceiling is %d", allocs, ceiling)
+	}
+}

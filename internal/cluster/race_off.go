@@ -1,0 +1,8 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation-ceiling regression test skips under instrumentation
+// because the detector's own bookkeeping allocates.
+const raceEnabled = false

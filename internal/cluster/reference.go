@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// This file retains the original linear-scan scheduler — O(F) per-event
+// sweeps with O(F) occupancy counts, O(F²) per event — selected by the
+// unexported Config.referenceScan knob. It is the executable
+// specification the heap scheduler is property-tested against (see
+// TestSchedulerEquivalence): both must produce bit-identical reports on
+// any fleet. It shares dispatch, lowering, snapshotting, landing and
+// reporting with the fast path; only event finding and clock advancing
+// differ.
+
+// occupancy counts the transfers currently sharing a switch.
+func (e *engine) occupancy(sw string) int64 {
+	n := int64(0)
+	for _, f := range e.flights {
+		if f.state == fTransfer && f.sw == sw {
+			n++
+		}
+	}
+	return n
+}
+
+// flightEventTime projects a flight's next transition instant under the
+// current link occupancy.
+func (e *engine) flightEventTime(f *flight) time.Duration {
+	switch f.state {
+	case fHead:
+		return f.headEnd
+	case fTransfer:
+		return e.now + f.work*time.Duration(e.occupancy(f.sw))
+	default:
+		return f.end
+	}
+}
+
+// nextEventTimeScan returns the earliest instant with something due, by
+// scanning every flight.
+func (e *engine) nextEventTimeScan() (time.Duration, bool) {
+	t, ok := time.Duration(math.MaxInt64), false
+	consider := func(c time.Duration) {
+		if c < t {
+			t = c
+		}
+		ok = true
+	}
+	if e.cfg.Policy != nil && e.tick < e.cfg.Horizon {
+		consider(e.tick)
+	}
+	if len(e.pending) > 0 {
+		consider(e.pending[0].At)
+	}
+	if e.si < len(e.shifts) {
+		consider(e.shifts[e.si].At)
+	}
+	for _, f := range e.flights {
+		consider(e.flightEventTime(f))
+	}
+	return t, ok
+}
+
+// advanceScan moves the clock to t, draining every in-flight transfer
+// by its equal share of the elapsed span. Occupancy is constant between
+// events, so the sharing arithmetic is exact integer division; a due
+// flight's remaining work reaches exactly zero.
+func (e *engine) advanceScan(t time.Duration) {
+	dt := t - e.now
+	if dt > 0 {
+		for _, f := range e.flights {
+			if f.state != fTransfer {
+				continue
+			}
+			f.work -= dt / time.Duration(e.occupancy(f.sw))
+			if f.work < 0 {
+				f.work = 0
+			}
+		}
+	}
+	e.now = t
+}
+
+// transitionScan advances one flight through every lifecycle phase due
+// at instant t (a flight may cascade through zero-span phases within
+// one instant) and reports whether it landed.
+func (e *engine) transitionScan(f *flight, t time.Duration) (landed bool) {
+	for {
+		switch f.state {
+		case fHead:
+			if f.headEnd > t {
+				return false
+			}
+			f.state = fTransfer
+		case fTransfer:
+			if f.work > 0 {
+				return false
+			}
+			f.transferEnd = t
+			f.state = fTail
+			f.end = t + f.tailSpan
+		default:
+			if f.end > t {
+				return false
+			}
+			e.land(f, t)
+			return true
+		}
+	}
+}
+
+// fireScan processes everything due at instant t.
+func (e *engine) fireScan(t time.Duration) error {
+	// 1. Flight transitions, in dispatch order.
+	kept := e.flights[:0]
+	for _, f := range e.flights {
+		if !e.transitionScan(f, t) {
+			kept = append(kept, f)
+		}
+	}
+	e.flights = kept
+
+	// 2. Workload phase transitions.
+	for e.si < len(e.shifts) && e.shifts[e.si].At <= t {
+		e.rep.Shifts = append(e.rep.Shifts, e.shifts[e.si])
+		e.si++
+	}
+
+	// 3. New dispatches: the policy tick's plan, then explicit moves.
+	return e.dispatchDue(t)
+}

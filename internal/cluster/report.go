@@ -80,4 +80,16 @@ type Report struct {
 	// Final is the end-of-timeline placement in host name order, with
 	// VM demand evaluated at the makespan.
 	Final []consolidation.HostState
+	// PeakFlights is the most migrations ever simultaneously in the air
+	// — the fleet's worst-case concurrent transfer pressure (1 on serial
+	// timelines with moves, 0 when nothing migrated).
+	PeakFlights int
+	// MaxStretch is the worst per-flight contention stretch of the
+	// timeline: how badly the most-contended transfer was slowed by
+	// sharing its switch (0 when nothing migrated, 1 when every link
+	// stayed private).
+	MaxStretch float64
+	// ReplanRounds is how many policy rounds executed (== len(Ticks);
+	// 0 for explicit timelines).
+	ReplanRounds int
 }

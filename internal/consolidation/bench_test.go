@@ -1,0 +1,73 @@
+package consolidation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// benchState builds an n-host planning input with the same shape the
+// cluster benchmarks use: every fourth host nearly idle (a drain
+// candidate), the rest moderately loaded with headroom.
+func benchState(n int) []HostState {
+	hosts := make([]HostState, n)
+	for i := range hosts {
+		h := HostState{
+			Name:      fmt.Sprintf("h%04d", i),
+			Threads:   32,
+			MemBytes:  32 * units.GiB,
+			IdlePower: 440,
+		}
+		if i%4 == 3 {
+			h.VMs = []VMState{{
+				Name: fmt.Sprintf("idle%04d", i), MemBytes: 4 * units.GiB,
+				BusyVCPUs: 1, DirtyRatio: 0.05,
+			}}
+		} else {
+			h.VMs = []VMState{{
+				Name: fmt.Sprintf("app%04d", i), MemBytes: 4 * units.GiB,
+				BusyVCPUs: 6 + float64(i%3)*2, DirtyRatio: 0.1,
+			}}
+		}
+		hosts[i] = h
+	}
+	return hosts
+}
+
+func benchPlan(b *testing.B, p Policy, n int) {
+	hosts := benchState(n)
+	cfg := Config{Horizon: 24 * time.Hour}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := p.Plan(hosts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Moves) == 0 {
+			b.Fatal("fixture drift: the policy plans nothing")
+		}
+	}
+}
+
+// The Plan benchmarks pin the planning-round cost at the fleet sizes
+// the cluster scheduler targets: a policy tick at 256 hosts runs inside
+// every BenchmarkClusterTimeline256 round, so a regression here is a
+// regression there.
+func BenchmarkPlanEnergyAware16(b *testing.B) {
+	benchPlan(b, EnergyAware{Model: HeuristicCost{}}, 16)
+}
+
+func BenchmarkPlanEnergyAware256(b *testing.B) {
+	benchPlan(b, EnergyAware{Model: HeuristicCost{}}, 256)
+}
+
+func BenchmarkPlanFFD16(b *testing.B) {
+	benchPlan(b, FirstFitDecreasing{Model: HeuristicCost{}}, 16)
+}
+
+func BenchmarkPlanFFD256(b *testing.B) {
+	benchPlan(b, FirstFitDecreasing{Model: HeuristicCost{}}, 256)
+}

@@ -255,9 +255,14 @@ func hostByName(hosts []HostState, name string) *HostState {
 
 // removeVM detaches a VM from a host state.
 func removeVM(h *HostState, name string) (VMState, bool) {
-	for i, v := range h.VMs {
+	return removeVMSlice(&h.VMs, name)
+}
+
+// removeVMSlice detaches a VM from a bare VM list, preserving order.
+func removeVMSlice(vms *[]VMState, name string) (VMState, bool) {
+	for i, v := range *vms {
 		if v.Name == name {
-			h.VMs = append(h.VMs[:i], h.VMs[i+1:]...)
+			*vms = append((*vms)[:i], (*vms)[i+1:]...)
 			return v, true
 		}
 	}

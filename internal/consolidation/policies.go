@@ -8,6 +8,85 @@ import (
 	"repro/internal/units"
 )
 
+// planState is a Plan invocation's working state: the cloned hosts plus
+// the bookkeeping that makes the planning loops cheap — a name index
+// instead of linear scans, and per-host busy/memory aggregates so the
+// admission checks in the hot candidate loops are O(1) instead of
+// re-summing every resident VM.
+//
+// The aggregates are maintained by *re-summing a host in VM order after
+// each mutation*, never by incremental subtraction: floating-point
+// addition is order-sensitive, and the policies' outputs are pinned by
+// golden suites, so the cached values must be bit-identical to what
+// HostState.BusyThreads would return at the same point.
+type planState struct {
+	hosts []HostState
+	index map[string]int
+	busy  []float64
+	mem   []units.Bytes
+}
+
+func newPlanState(hosts []HostState) *planState {
+	st := &planState{
+		hosts: cloneHosts(hosts),
+		index: make(map[string]int, len(hosts)),
+		busy:  make([]float64, len(hosts)),
+		mem:   make([]units.Bytes, len(hosts)),
+	}
+	for i := range st.hosts {
+		st.index[st.hosts[i].Name] = i
+		st.recompute(i)
+	}
+	return st
+}
+
+// recompute refreshes a host's cached aggregates after its VM set
+// changed, summing in VM order (see the planState invariant).
+func (st *planState) recompute(i int) {
+	st.busy[i] = st.hosts[i].BusyThreads()
+	st.mem[i] = st.hosts[i].UsedMem()
+}
+
+// drainScratch is the reusable working memory of EnergyAware's
+// tentative drains. One instance serves every drain of a Plan call;
+// the epoch counter invalidates the per-host tentative deltas between
+// drains without clearing the arrays.
+type drainScratch struct {
+	epoch     int
+	tentEpoch []int
+	tentBusy  []float64
+	tentMem   []units.Bytes
+	srcVMs    []VMState // src residents not yet tentatively placed
+	order     []VMState // src residents, biggest first
+	moves     []Move
+}
+
+func newDrainScratch(n int) *drainScratch {
+	return &drainScratch{
+		tentEpoch: make([]int, n),
+		tentBusy:  make([]float64, n),
+		tentMem:   make([]units.Bytes, n),
+	}
+}
+
+// effective returns host j's busy/memory aggregates including this
+// drain's tentative placements. Tentative additions are applied
+// sequentially on top of the cached sum — the same left-to-right order
+// a re-sum of the appended VM list would use.
+func (sc *drainScratch) effective(st *planState, j int) (float64, units.Bytes) {
+	if sc.tentEpoch[j] == sc.epoch {
+		return sc.tentBusy[j], sc.tentMem[j]
+	}
+	return st.busy[j], st.mem[j]
+}
+
+// add tentatively places a VM on host j for the rest of this drain.
+func (sc *drainScratch) add(st *planState, j int, vm VMState) {
+	b, m := sc.effective(st, j)
+	sc.tentBusy[j], sc.tentMem[j] = b+vm.BusyVCPUs, m+vm.MemBytes
+	sc.tentEpoch[j] = sc.epoch
+}
+
 // EnergyAware is the paper-aligned policy: it tries to empty the least
 // loaded hosts, pricing every candidate move with the migration energy
 // model and choosing, per VM, the admissible target with the lowest
@@ -29,32 +108,36 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	work := cloneHosts(hosts)
+	st := newPlanState(hosts)
 	plan := &Plan{}
 	pinned := cfg.pinnedSet()
-	received := map[string]bool{} // hosts that gained VMs this round
+	received := make([]bool, len(st.hosts)) // hosts that gained VMs this round
 
-	// Drain candidates: least loaded first (cheapest to empty).
-	order := make([]string, len(work))
-	for i, h := range work {
-		order[i] = h.Name
+	// Drain candidates: least loaded first (cheapest to empty). Busy
+	// totals come from the cached aggregates — the same values a
+	// per-comparison re-sum would produce, without the O(H² log H)
+	// name-lookup-and-re-sum the comparator used to pay.
+	order := make([]int, len(st.hosts))
+	for i := range order {
+		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool {
-		hi, hj := hostByName(work, order[i]), hostByName(work, order[j])
-		if hi.BusyThreads() != hj.BusyThreads() {
-			return hi.BusyThreads() < hj.BusyThreads()
+		hi, hj := order[i], order[j]
+		if st.busy[hi] != st.busy[hj] {
+			return st.busy[hi] < st.busy[hj]
 		}
-		return hi.Name < hj.Name
+		return st.hosts[hi].Name < st.hosts[hj].Name
 	})
 
-	for _, srcName := range order {
-		src := hostByName(work, srcName)
+	sc := newDrainScratch(len(st.hosts))
+	for _, si := range order {
+		src := &st.hosts[si]
 		if len(src.VMs) == 0 {
 			continue
 		}
 		// A host that just received migrations is pinned for this round:
 		// re-draining it would move VMs twice and burn energy for nothing.
-		if received[srcName] {
+		if received[si] {
 			continue
 		}
 		// A host with a pinned VM (an in-flight migration from an earlier
@@ -63,7 +146,7 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		if src.hasPinned(pinned) {
 			continue
 		}
-		moves, ok, err := p.drain(work, src, cfg, len(plan.Moves))
+		moves, ok, err := p.drain(st, si, cfg, len(plan.Moves), sc)
 		if err != nil {
 			return nil, err
 		}
@@ -81,79 +164,92 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		}
 		// Commit: execute the drain against the working state.
 		for _, m := range moves {
-			vm, found := removeVM(hostByName(work, m.From), m.VM)
+			fi, ti := st.index[m.From], st.index[m.To]
+			vm, found := removeVM(&st.hosts[fi], m.VM)
 			if !found {
 				return nil, fmt.Errorf("consolidation: internal error, VM %q vanished", m.VM)
 			}
-			dst := hostByName(work, m.To)
-			dst.VMs = append(dst.VMs, vm)
+			st.hosts[ti].VMs = append(st.hosts[ti].VMs, vm)
+			st.recompute(fi)
+			st.recompute(ti)
 			plan.Moves = append(plan.Moves, m)
-			received[m.To] = true
+			received[ti] = true
 		}
 		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
 			break
 		}
 	}
-	finishPlan(plan, work)
+	finishPlan(plan, st.hosts)
 	return plan, nil
 }
 
-// drain plans the complete evacuation of src, tentatively, against a copy
-// of the working state. It returns ok=false when some VM has no admissible
+// drain plans the complete evacuation of host si, tentatively, against
+// the scratch deltas — the working state itself is untouched until the
+// caller commits. It returns ok=false when some VM has no admissible
 // target or the move budget would be exceeded.
-func (p EnergyAware) drain(work []HostState, src *HostState, cfg Config, movesSoFar int) ([]Move, bool, error) {
-	tmp := cloneHosts(work)
-	tmpSrc := hostByName(tmp, src.Name)
-	var moves []Move
+func (p EnergyAware) drain(st *planState, si int, cfg Config, movesSoFar int, sc *drainScratch) ([]Move, bool, error) {
+	src := &st.hosts[si]
+	sc.epoch++
+	sc.moves = sc.moves[:0]
+	sc.srcVMs = append(sc.srcVMs[:0], src.VMs...)
 
-	// Biggest VMs first: they are the hardest to place.
-	vms := append([]VMState(nil), tmpSrc.VMs...)
-	sort.Slice(vms, func(i, j int) bool {
-		if vms[i].BusyVCPUs != vms[j].BusyVCPUs {
-			return vms[i].BusyVCPUs > vms[j].BusyVCPUs
+	// Biggest VMs first: they are the hardest to place. Each candidate
+	// host's VM list is sorted at most once per planning round — drains
+	// visit every source exactly once.
+	sc.order = append(sc.order[:0], src.VMs...)
+	sort.Slice(sc.order, func(i, j int) bool {
+		if sc.order[i].BusyVCPUs != sc.order[j].BusyVCPUs {
+			return sc.order[i].BusyVCPUs > sc.order[j].BusyVCPUs
 		}
-		return vms[i].Name < vms[j].Name
+		return sc.order[i].Name < sc.order[j].Name
 	})
 
-	for _, vm := range vms {
-		if cfg.MaxMoves > 0 && movesSoFar+len(moves) >= cfg.MaxMoves {
+	for _, vm := range sc.order {
+		if cfg.MaxMoves > 0 && movesSoFar+len(sc.moves) >= cfg.MaxMoves {
 			return nil, false, nil
+		}
+		// The source's projected load: the residents not yet placed,
+		// re-summed in list order, minus the mover itself.
+		srcBusy := 0.0
+		for _, r := range sc.srcVMs {
+			srcBusy += r.BusyVCPUs
 		}
 		best := -1
 		var bestCost MigrationCost
-		for i := range tmp {
-			dst := &tmp[i]
-			if dst.Name == src.Name {
+		for j := range st.hosts {
+			if j == si {
 				continue
 			}
 			// Never wake an already-empty host to fill it: that defeats
-			// consolidation.
-			if len(dst.VMs) == 0 {
+			// consolidation. (Empty hosts never receive tentative adds, so
+			// the resident count needs no delta tracking.)
+			if len(st.hosts[j].VMs) == 0 {
 				continue
 			}
-			if !dst.fits(vm, cfg.CPUCap) {
+			busy, mem := sc.effective(st, j)
+			if busy+vm.BusyVCPUs > float64(st.hosts[j].Threads)*cfg.CPUCap ||
+				mem+vm.MemBytes > st.hosts[j].MemBytes {
 				continue
 			}
-			cost, err := p.Model.Cost(vm, tmpSrc.BusyThreads()-vm.BusyVCPUs, dst.BusyThreads())
+			cost, err := p.Model.Cost(vm, srcBusy-vm.BusyVCPUs, busy)
 			if err != nil {
 				return nil, false, err
 			}
 			if best < 0 || cost.Energy < bestCost.Energy {
-				best = i
+				best = j
 				bestCost = cost
 			}
 		}
 		if best < 0 {
 			return nil, false, nil
 		}
-		moved, found := removeVM(tmpSrc, vm.Name)
-		if !found {
+		if _, found := removeVMSlice(&sc.srcVMs, vm.Name); !found {
 			return nil, false, fmt.Errorf("consolidation: internal error draining %q", vm.Name)
 		}
-		tmp[best].VMs = append(tmp[best].VMs, moved)
-		moves = append(moves, Move{VM: vm.Name, From: src.Name, To: tmp[best].Name, Cost: bestCost})
+		sc.add(st, best, vm)
+		sc.moves = append(sc.moves, Move{VM: vm.Name, From: src.Name, To: st.hosts[best].Name, Cost: bestCost})
 	}
-	return moves, true, nil
+	return sc.moves, true, nil
 }
 
 // FirstFitDecreasing is the energy-blind baseline: sort all VMs by CPU
@@ -176,9 +272,17 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	work := cloneHosts(hosts)
 	plan := &Plan{}
 	pinned := cfg.pinnedSet()
+
+	// Pre-plan state: the input is read-only, so origin loads (for move
+	// pricing) come straight from it — no working clone needed.
+	index := make(map[string]int, len(hosts))
+	preBusy := make([]float64, len(hosts))
+	for i := range hosts {
+		index[hosts[i].Name] = i
+		preBusy[i] = hosts[i].BusyThreads()
+	}
 
 	// Gather every movable VM with its origin. Pinned VMs (in-flight
 	// migrations from a previous round) are not re-packed: they keep
@@ -188,7 +292,7 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		from string
 	}
 	var all []placed
-	for _, h := range work {
+	for _, h := range hosts {
 		for _, v := range h.VMs {
 			if pinned[v.Name] {
 				continue
@@ -204,8 +308,11 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	})
 
 	// Re-pack into empty bins in host order; pinned VMs pre-occupy their
-	// current bin.
+	// current bin. Bin loads are tracked as running aggregates, added in
+	// placement order — bit-identical to re-summing the bin's VM list.
 	bins := cloneHosts(hosts)
+	binBusy := make([]float64, len(bins))
+	binMem := make([]units.Bytes, len(bins))
 	for i := range bins {
 		kept := bins[i].VMs[:0]
 		for _, v := range bins[i].VMs {
@@ -214,6 +321,8 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 			}
 		}
 		bins[i].VMs = kept
+		binBusy[i] = bins[i].BusyThreads()
+		binMem[i] = bins[i].UsedMem()
 	}
 	for idx, pl := range all {
 		// Move budget exhausted: every VM not yet processed stays where
@@ -222,27 +331,30 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		// run the unmoved tail of the packing order.
 		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
 			for _, rest := range all[idx:] {
-				origin := hostByName(bins, rest.from)
+				origin := &bins[index[rest.from]]
 				origin.VMs = append(origin.VMs, rest.vm)
 			}
 			break
 		}
-		placedAt := ""
+		placedAt := -1
 		for i := range bins {
-			if bins[i].fits(pl.vm, cfg.CPUCap) {
+			if binBusy[i]+pl.vm.BusyVCPUs <= float64(bins[i].Threads)*cfg.CPUCap &&
+				binMem[i]+pl.vm.MemBytes <= bins[i].MemBytes {
 				bins[i].VMs = append(bins[i].VMs, pl.vm)
-				placedAt = bins[i].Name
+				binBusy[i] += pl.vm.BusyVCPUs
+				binMem[i] += pl.vm.MemBytes
+				placedAt = i
 				break
 			}
 		}
-		if placedAt == "" {
+		if placedAt < 0 {
 			return nil, fmt.Errorf("consolidation: FFD cannot place VM %q", pl.vm.Name)
 		}
-		if placedAt != pl.from {
-			move := Move{VM: pl.vm.Name, From: pl.from, To: placedAt}
+		if bins[placedAt].Name != pl.from {
+			move := Move{VM: pl.vm.Name, From: pl.from, To: bins[placedAt].Name}
 			if p.Model != nil {
-				srcBusy := hostByName(work, pl.from).BusyThreads() - pl.vm.BusyVCPUs
-				dstBusy := hostByName(bins, placedAt).BusyThreads() - pl.vm.BusyVCPUs
+				srcBusy := preBusy[index[pl.from]] - pl.vm.BusyVCPUs
+				dstBusy := binBusy[placedAt] - pl.vm.BusyVCPUs
 				cost, err := p.Model.Cost(pl.vm, srcBusy, dstBusy)
 				if err != nil {
 					return nil, err

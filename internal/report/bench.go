@@ -10,12 +10,19 @@ import (
 )
 
 // BenchArtefact is the machine-readable timing of one generated artefact
-// (a figure, a table, or a shared campaign stage).
+// (a figure, a table, a scenario, or a shared campaign stage).
 type BenchArtefact struct {
-	// ID names the artefact ("fig3", "table7", "campaign-m", ...).
+	// ID names the artefact ("fig3", "table7", "campaign-m", a scenario
+	// name, ...).
 	ID string `json:"id"`
 	// Seconds is the wall-clock time to produce it.
 	Seconds float64 `json:"seconds"`
+	// CacheHits/CacheMisses are the run-cache lookups this artefact
+	// made (deltas over the session cache, so per-artefact cache
+	// effectiveness is visible in committed BENCH snapshots). Omitted
+	// for artefacts recorded without cache attribution.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
 }
 
 // BenchReport is the machine-readable outcome of one wavm3bench session:
@@ -62,6 +69,14 @@ func NewBenchReport(tool string) *BenchReport {
 // Add appends one artefact timing.
 func (r *BenchReport) Add(id string, d time.Duration) {
 	r.Artefacts = append(r.Artefacts, BenchArtefact{ID: id, Seconds: d.Seconds()})
+}
+
+// AddWithCache appends one artefact timing with its run-cache lookup
+// deltas (hits and misses made while producing this artefact).
+func (r *BenchReport) AddWithCache(id string, d time.Duration, hits, misses uint64) {
+	r.Artefacts = append(r.Artefacts, BenchArtefact{
+		ID: id, Seconds: d.Seconds(), CacheHits: hits, CacheMisses: misses,
+	})
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -14,7 +14,7 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	r.Seed = 7
 	r.Workers = 2
 	r.Add("fig2", 1500*time.Millisecond)
-	r.Add("table7", 250*time.Millisecond)
+	r.AddWithCache("table7", 250*time.Millisecond, 12, 3)
 	r.CacheHits, r.CacheMisses, r.CacheEntries = 10, 4, 4
 	r.TotalSeconds = 2.5
 
@@ -31,6 +31,12 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 	if len(back.Artefacts) != 2 || back.Artefacts[0].ID != "fig2" || back.Artefacts[0].Seconds != 1.5 {
 		t.Errorf("artefact timings lost: %+v", back.Artefacts)
+	}
+	if back.Artefacts[1].CacheHits != 12 || back.Artefacts[1].CacheMisses != 3 {
+		t.Errorf("per-artefact cache stats lost: %+v", back.Artefacts[1])
+	}
+	if back.Artefacts[0].CacheHits != 0 || back.Artefacts[0].CacheMisses != 0 {
+		t.Errorf("cache-less artefact gained stats: %+v", back.Artefacts[0])
 	}
 	if back.CacheHits != 10 || back.CacheMisses != 4 || back.CacheEntries != 4 {
 		t.Errorf("cache stats lost: %+v", back)

@@ -281,7 +281,9 @@ func (s *Spec) clusterConfig() (cluster.Config, error) {
 		MaxMoves: c.MaxMoves,
 		Horizon:  time.Duration(c.PaybackS * float64(time.Second)),
 	}
-	for _, h := range c.Hosts {
+	hosts, _ := s.expandedClusterHosts()
+	cfg.Hosts = make([]cluster.Host, 0, len(hosts))
+	for _, h := range hosts {
 		ch := cluster.Host{Name: h.Name, Machine: h.Machine}
 		for _, v := range h.VMs {
 			cv := cluster.VM{

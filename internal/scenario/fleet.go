@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// This file expands cluster fleet templates (ClusterSpec.Fleet) into
+// concrete host lists. Expansion is pure data → data and fully
+// deterministic: the same spec (name, seed, groups) expands to the same
+// hosts — and therefore the same lowered migration scenarios and
+// run-cache keys — in every session.
+
+// hostCount is the cluster's total population: explicit hosts plus
+// every fleet replica.
+func (c *ClusterSpec) hostCount() int {
+	n := len(c.Hosts)
+	for _, g := range c.Fleet {
+		if g.Count > 0 {
+			n += g.Count
+		}
+	}
+	return n
+}
+
+// replicaSuffix formats the deterministic replica name suffix.
+func replicaSuffix(i int) string {
+	return fmt.Sprintf("-%04d", i)
+}
+
+// fleetJitter derives replica i's phase lead-in, in whole seconds of
+// [0, maxS): a splitmix64 finalizer over the scenario seed, the group
+// name and the replica index. Stable across sessions and machines by
+// construction — it feeds compiled timelines and so cache identities.
+func fleetJitter(seed int64, group string, i int, maxS int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(group))
+	x := uint64(seed) + h.Sum64() + uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(maxS))
+}
+
+// validateFleetGroups checks the group templates under
+// cluster.fleet[g] paths. Per-replica properties (duplicate names
+// against explicit hosts, VM field ranges) are checked by the expanded
+// host validation afterwards.
+func (s *Spec) validateFleetGroups() error {
+	name := s.Name
+	cat := hw.Catalog()
+	seen := make(map[string]int, len(s.Cluster.Fleet))
+	for gi, g := range s.Cluster.Fleet {
+		path := fmt.Sprintf("cluster.fleet[%d]", gi)
+		if !validName(g.Name) {
+			return errf(name, path+".name", "must be non-empty lowercase [a-z0-9._-], got %q", g.Name)
+		}
+		if prev, dup := seen[g.Name]; dup {
+			return errf(name, path+".name", "group %q already declared at cluster.fleet[%d]", g.Name, prev)
+		}
+		seen[g.Name] = gi
+		if g.Count < 1 || g.Count > MaxFleetReplicas {
+			return errf(name, path+".count", "must be 1..%d, got %d", MaxFleetReplicas, g.Count)
+		}
+		if _, ok := cat[g.Machine]; !ok {
+			models := make([]string, 0, len(cat))
+			for m := range cat {
+				models = append(models, m)
+			}
+			sort.Strings(models)
+			return errf(name, path+".machine", "unknown machine model %q (catalog: %s)", g.Machine, strings.Join(models, ", "))
+		}
+		if g.PhaseJitterS < 0 {
+			return errf(name, path+".phase_jitter_s", "must be non-negative, got %v", g.PhaseJitterS)
+		}
+		if g.PhaseJitterS > 0 {
+			if g.PhaseJitterS < 1 || g.PhaseJitterS != math.Trunc(g.PhaseJitterS) {
+				return errf(name, path+".phase_jitter_s", "lead-ins are whole seconds; must be 0 or a whole number of seconds >= 1, got %v", g.PhaseJitterS)
+			}
+			phased := false
+			for vi, v := range g.VMs {
+				if len(v.Phases) == 0 {
+					continue
+				}
+				phased = true
+				// The lead-in holds the timeline's entry intensity as a
+				// steady phase; Level 0 means "factor 1" in the phase
+				// grammar, so an entry factor of exactly 0 cannot be
+				// expressed and is refused.
+				if entry := v.Phases[0].phase().Factor(0); entry <= 0 {
+					return errf(name, fmt.Sprintf("%s.vms[%d].phases[0]", path, vi),
+						"entry intensity factor is %v; a jittered lead-in cannot hold it (factors must be positive)", entry)
+				}
+			}
+			if !phased {
+				return errf(name, path+".phase_jitter_s", "no template VM has phases; there is no timeline to offset")
+			}
+		}
+	}
+	return nil
+}
+
+// expandedClusterHosts returns the cluster's concrete host population —
+// explicit hosts followed by every fleet replica — plus a parallel
+// field-path label per host for error reporting.
+func (s *Spec) expandedClusterHosts() ([]ClusterHostSpec, []string) {
+	c := s.Cluster
+	hosts := make([]ClusterHostSpec, 0, c.hostCount())
+	paths := make([]string, 0, c.hostCount())
+	for hi, h := range c.Hosts {
+		hosts = append(hosts, h)
+		paths = append(paths, fmt.Sprintf("cluster.hosts[%d]", hi))
+	}
+	seed := s.EffectiveSeed()
+	for gi, g := range c.Fleet {
+		for i := 0; i < g.Count; i++ {
+			suffix := replicaSuffix(i)
+			host := ClusterHostSpec{
+				Name:    g.Name + suffix,
+				Machine: g.Machine,
+				VMs:     make([]ClusterVMSpec, 0, len(g.VMs)),
+			}
+			for _, v := range g.VMs {
+				rv := v
+				rv.Name = v.Name + suffix
+				rv.Phases = append([]PhaseSpec(nil), v.Phases...)
+				if g.PhaseJitterS >= 1 && len(rv.Phases) > 0 {
+					if lead := fleetJitter(seed, g.Name, i, int64(g.PhaseJitterS)); lead > 0 {
+						// Hold the timeline's entry intensity: a steady span
+						// at the first phase's position-0 factor.
+						rv.Phases = append([]PhaseSpec{{
+							Name:      "lead-in",
+							Kind:      string(workload.PhaseSteady),
+							DurationS: float64(lead),
+							Level:     rv.Phases[0].phase().Factor(0),
+						}}, rv.Phases...)
+					}
+				}
+				host.VMs = append(host.VMs, rv)
+			}
+			hosts = append(hosts, host)
+			paths = append(paths, fmt.Sprintf("cluster.fleet[%d].replica[%d]", gi, i))
+		}
+	}
+	return hosts, paths
+}

@@ -48,12 +48,16 @@ type goldenClusterMove struct {
 }
 
 // goldenCluster pins one cluster timeline: its migrations in dispatch
-// order plus the end state.
+// order, the end state, and the fleet summary (peak concurrent
+// flights, worst contention stretch, re-plan rounds).
 type goldenCluster struct {
-	Timeline  []goldenClusterMove `json:"timeline"`
-	TotalJ    float64             `json:"total_j"`
-	MakespanS float64             `json:"makespan_s"`
-	Freed     []string            `json:"freed,omitempty"`
+	Timeline     []goldenClusterMove `json:"timeline"`
+	TotalJ       float64             `json:"total_j"`
+	MakespanS    float64             `json:"makespan_s"`
+	Freed        []string            `json:"freed,omitempty"`
+	PeakFlights  int                 `json:"peak_flights,omitempty"`
+	MaxStretch   float64             `json:"max_stretch,omitempty"`
+	ReplanRounds int                 `json:"replan_rounds,omitempty"`
 }
 
 // golden pins the whole library: block label -> outcome, scenario name ->
@@ -90,9 +94,12 @@ func runLibrary(t *testing.T) *golden {
 				t.Fatalf("running cluster %s: %v", s.Name, err)
 			}
 			gc := goldenCluster{
-				TotalJ:    float64(rep.TotalEnergy),
-				MakespanS: rep.Makespan.Seconds(),
-				Freed:     rep.FreedHosts,
+				TotalJ:       float64(rep.TotalEnergy),
+				MakespanS:    rep.Makespan.Seconds(),
+				Freed:        rep.FreedHosts,
+				PeakFlights:  rep.PeakFlights,
+				MaxStretch:   rep.MaxStretch,
+				ReplanRounds: rep.ReplanRounds,
 			}
 			for _, mv := range rep.Timeline {
 				gc.Timeline = append(gc.Timeline, goldenClusterMove{

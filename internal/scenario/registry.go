@@ -134,7 +134,7 @@ func List(dir string) ([]Info, error) {
 			Phases:      len(s.Phases),
 		}
 		if s.Cluster != nil {
-			in.Cluster = len(s.Cluster.Hosts)
+			in.Cluster = s.Cluster.hostCount()
 		}
 		out = append(out, in)
 	}

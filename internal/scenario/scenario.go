@@ -406,11 +406,47 @@ type ClusterSpec struct {
 	MaxMoves int     `json:"max_moves,omitempty"`
 	PaybackS float64 `json:"payback_s,omitempty"`
 	// Hosts is the cluster population.
-	Hosts []ClusterHostSpec `json:"hosts"`
+	Hosts []ClusterHostSpec `json:"hosts,omitempty"`
+	// Fleet replicates named host-group templates into a large
+	// population: each group's template is stamped Count times with
+	// deterministic name suffixes (and, optionally, seed-jittered phase
+	// offsets), and the replicas are appended after the explicit Hosts,
+	// group by group. A 1,024-host scenario stays a ~40-line file.
+	Fleet []FleetGroupSpec `json:"fleet,omitempty"`
 	// Moves is the explicit migration timeline (mutually exclusive with
 	// Policy). Moves sharing an instant start concurrently and contend
 	// on shared links.
 	Moves []TimedMoveSpec `json:"moves,omitempty"`
+}
+
+// MaxFleetReplicas bounds one fleet group's Count: a typoed count must
+// not quietly ask for a million-host timeline.
+const MaxFleetReplicas = 4096
+
+// FleetGroupSpec is one host-group template of a cluster fleet. Every
+// replica i (0-based) gets host name "<name>-NNNN" and VM names
+// "<vm>-NNNN" (4-digit zero-padded index), so expansion is
+// deterministic and replicas are addressable from explicit moves.
+type FleetGroupSpec struct {
+	// Name prefixes the replica host names. Same charset as scenario
+	// names.
+	Name string `json:"name"`
+	// Count is how many replicas to stamp (1 to MaxFleetReplicas).
+	Count int `json:"count"`
+	// Machine names the hw catalog model every replica is an instance
+	// of.
+	Machine string `json:"machine"`
+	// PhaseJitterS, when positive, desynchronises the replicas: each
+	// replica's VM phase timelines start after a deterministic lead-in
+	// of [0, PhaseJitterS) whole seconds — a steady phase at the
+	// timeline's entry intensity — derived from the scenario's effective
+	// seed, the group name and the replica index. Without it every
+	// replica of a diurnal group would shift phase at the same instant.
+	// Requires template VMs with phases; must be 0 or a whole number of
+	// seconds >= 1.
+	PhaseJitterS float64 `json:"phase_jitter_s,omitempty"`
+	// VMs are the template guests stamped onto every replica.
+	VMs []ClusterVMSpec `json:"vms,omitempty"`
 }
 
 // ClusterHostSpec is one host of a cluster scenario.
@@ -741,8 +777,11 @@ func (s *Spec) validateCluster(kind migration.Kind) error {
 		return errf(name, "kind", "post-copy is not supported for cluster timelines")
 	}
 	c := s.Cluster
-	if len(c.Hosts) == 0 {
-		return errf(name, "cluster.hosts", "required")
+	if err := s.validateFleetGroups(); err != nil {
+		return err
+	}
+	if c.hostCount() == 0 {
+		return errf(name, "cluster.hosts", "required (directly or via \"fleet\" groups)")
 	}
 	switch c.Policy {
 	case "", PolicyEnergyAware, PolicyFirstFit:
@@ -769,8 +808,8 @@ func (s *Spec) validateCluster(kind migration.Kind) error {
 			return errf(name, "cluster.tick_s", "must be positive with a policy, got %v", c.TickS)
 		case c.HorizonS <= 0:
 			return errf(name, "cluster.horizon_s", "must be positive with a policy, got %v", c.HorizonS)
-		case len(c.Hosts) < 2:
-			return errf(name, "cluster.hosts", "planning needs at least 2 hosts, got %d", len(c.Hosts))
+		case c.hostCount() < 2:
+			return errf(name, "cluster.hosts", "planning needs at least 2 hosts, got %d", c.hostCount())
 		case c.CPUCap < 0 || c.CPUCap > 1:
 			return errf(name, "cluster.cpu_cap", "%v outside [0, 1]", c.CPUCap)
 		case c.MaxMoves < 0:
@@ -780,10 +819,11 @@ func (s *Spec) validateCluster(kind migration.Kind) error {
 		}
 	}
 	cat := hw.Catalog()
-	hostSet := make(map[string]bool, len(c.Hosts))
+	hosts, hostPaths := s.expandedClusterHosts()
+	hostSet := make(map[string]bool, len(hosts))
 	vmSet := make(map[string]bool)
-	for hi, h := range c.Hosts {
-		path := fmt.Sprintf("cluster.hosts[%d]", hi)
+	for hi, h := range hosts {
+		path := hostPaths[hi]
 		if h.Name == "" {
 			return errf(name, path+".name", "required")
 		}
