@@ -27,7 +27,9 @@ import (
 	"time"
 
 	"repro/internal/cliflags"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -100,9 +102,10 @@ func main() {
 	for i, c := range compiled {
 		t0 := time.Now()
 		hits0, misses0 := cache.Stats()
+		var rep *cluster.Report
 		switch {
 		case c.Cluster != nil:
-			execCluster(specs[i], c.Cluster, common.Workers, cache)
+			rep = execCluster(specs[i], c.Cluster, common.Workers, cache)
 		case c.Plan != nil:
 			execPlan(specs[i], c.Plan, common.Workers, cache)
 		default:
@@ -112,6 +115,16 @@ func main() {
 		// session cache traffic (a nil cache reads as zero lookups).
 		hits1, misses1 := cache.Stats()
 		perf.AddWithCache(specs[i].Name, time.Since(t0), hits1-hits0, misses1-misses0)
+		// Chaos scenarios also record their SLO outcome in the artefact.
+		if rep != nil && len(c.Cluster.Config.Failures) > 0 {
+			perf.AnnotateSLO(report.SLO{
+				AbortedFlights: rep.AbortedFlights,
+				OrphanedVMs:    rep.OrphanedVMs,
+				EvacuatedVMs:   rep.EvacuatedVMs,
+				DeadlineMet:    rep.EvacuationDeadlineMet,
+				FleetEnergyJ:   float64(rep.FleetEnergy),
+			})
+		}
 	}
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
@@ -212,17 +225,19 @@ func execPlan(s *scenario.Spec, pr *scenario.PlanRun, workers int, cache *sim.Ca
 		len(rep.Moves), rep.Total.KiloJoules(), rep.Elapsed.Seconds())
 }
 
-// execCluster executes an N-host cluster timeline: ticks, phase shifts
-// and migrations are printed as deterministic sections, every energy
-// contention-adjusted.
-func execCluster(s *scenario.Spec, cr *scenario.ClusterRun, workers int, cache *sim.Cache) {
+// execCluster executes an N-host cluster timeline: ticks, phase shifts,
+// migrations — and, under failure injection, aborts and the SLO scores —
+// are printed as deterministic sections, every energy
+// contention-adjusted. The report is returned so the caller can record
+// the SLO outcome in benchmark artefacts.
+func execCluster(s *scenario.Spec, cr *scenario.ClusterRun, workers int, cache *sim.Cache) *cluster.Report {
 	fmt.Printf("== %s (cluster: %d hosts, %s)\n", s.Name, len(cr.Config.Hosts), cr.Policy)
 	rep, err := experiments.RunCluster(experiments.Config{Workers: workers, Cache: cache}, cr.Config)
 	if err != nil {
 		fatal(err)
 	}
 	for _, tick := range rep.Ticks {
-		fmt.Printf("   tick  t=%9.1fs  planned %2d move(s)  %d in flight\n",
+		fmt.Printf("   tick  t=%9.1fs  planned %2d move(s)  %d pinned\n",
 			tick.At.Seconds(), tick.Moves, tick.Pinned)
 	}
 	for _, sh := range rep.Shifts {
@@ -238,12 +253,26 @@ func execCluster(s *scenario.Spec, cr *scenario.ClusterRun, workers int, cache *
 			mv.Start.Seconds(), mv.End.Seconds(), mv.Stretch,
 			mv.Energy.KiloJoules(), float64(mv.BytesSent)/float64(units.GiB))
 	}
+	for _, a := range rep.Aborted {
+		fmt.Printf("   abort %-12s %-10s -> %-10s [%-8s] t=%9.1fs ..%9.1fs  %9.3f kJ charged  (%s)\n",
+			a.VM, a.From, a.To, a.Phase,
+			a.Start.Seconds(), a.End.Seconds(), a.Energy.KiloJoules(), a.Reason)
+	}
 	if len(rep.FreedHosts) > 0 {
 		fmt.Printf("   freed %s  (%.0f W idle reclaimed)\n",
 			strings.Join(rep.FreedHosts, ", "), float64(rep.IdleSavings))
 	}
+	if len(cr.Config.Failures) > 0 {
+		deadline := "met"
+		if !rep.EvacuationDeadlineMet {
+			deadline = "MISSED"
+		}
+		fmt.Printf("   slo   %d aborted  %d orphaned  %d evacuated  deadline %s  fleet %9.3f kJ\n",
+			rep.AbortedFlights, rep.OrphanedVMs, rep.EvacuatedVMs, deadline, rep.FleetEnergy.KiloJoules())
+	}
 	fmt.Printf("   total %d move(s)  %9.3f kJ  makespan %9.1fs\n",
 		len(rep.Timeline), rep.TotalEnergy.KiloJoules(), rep.Makespan.Seconds())
+	return rep
 }
 
 func fatal(err error) {

@@ -231,6 +231,16 @@ type Config struct {
 	// Moves is the explicit migration timeline (mutually exclusive with
 	// Policy).
 	Moves []TimedMove
+	// Failures injects timed failure events — host crashes, flight
+	// aborts, switch outage windows — into the timeline (see
+	// FailureEvent). Events apply after same-instant flight completions
+	// and before same-instant dispatches, and are not bounded by
+	// Horizon. Incompatible with Serial.
+	Failures []FailureEvent
+	// EvacuationDeadline scores host crashes: every orphaned VM must
+	// land on a live host within this span of its crash for the
+	// report's EvacuationDeadlineMet to hold. Zero means "eventually".
+	EvacuationDeadline time.Duration
 	// Serial chains the explicit moves back to back — each move starts
 	// when the previous one lands, with the state evolved in between —
 	// reproducing the two-host executor's one-at-a-time semantics. It
@@ -251,6 +261,11 @@ type Config struct {
 	// equivalence property test runs every fleet through both and
 	// demands bit-identical reports.
 	referenceScan bool
+
+	// simOverride replaces the cache/kernel execution of lowered
+	// migration scenarios. Test-only: the dispatch-transaction tests
+	// inject kernels that fail mid-batch.
+	simOverride func(sim.Scenario) (*sim.RunResult, error)
 }
 
 // Validate rejects unusable configurations. It is called by Run; callers
@@ -377,7 +392,7 @@ func (c Config) Validate() error {
 		}
 		dispatched[m.VM][m.At] = true
 	}
-	return nil
+	return c.validateFailures(names, vms, switches)
 }
 
 // sortedHosts returns the resolved hosts in name order.

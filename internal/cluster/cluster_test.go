@@ -404,6 +404,22 @@ func TestRetickPinsInflight(t *testing.T) {
 	}
 	pinnedSeen := false
 	for _, tick := range rep.Ticks[1:] {
+		// Pinned reports the placement entries the round's snapshot
+		// actually pinned: every in-flight migration contributes two —
+		// the migrating VM on its source and its "+incoming"
+		// destination reservation. Reconcile against the timeline:
+		// flights spanning the tick instant (dispatched before, landed
+		// after) are exactly the in-flight set the snapshot saw.
+		inFlight := 0
+		for _, rec := range rep.Timeline {
+			if rec.Start < tick.At && rec.End > tick.At {
+				inFlight++
+			}
+		}
+		if tick.Pinned != 2*inFlight {
+			t.Errorf("tick at %v pinned %d entries with %d migrations in flight, want %d",
+				tick.At, tick.Pinned, inFlight, 2*inFlight)
+		}
 		if tick.Pinned > 0 {
 			pinnedSeen = true
 			if tick.Moves != 0 {

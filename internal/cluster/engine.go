@@ -25,6 +25,10 @@ const seedStride = 607
 type hostRT struct {
 	*resolved
 	vms []*vmRT
+	// down marks a crashed host: no dispatch may target it, its idle
+	// floor leaves the power trace, and its residents are evacuation
+	// candidates.
+	down bool
 	// incoming lists the flights bound for this host, in dispatch order
 	// (append at dispatch, remove at land), so snapshots place their
 	// destination reservations without rebuilding a map per tick.
@@ -163,9 +167,15 @@ type engine struct {
 	// when cfg.referenceScan asks for the retained O(F²) loop.
 	flights []*flight
 
+	// fail is the failure-injection state (see failure.go). The airborne
+	// list inside is maintained unconditionally; the event schedule and
+	// orphan maps exist only when Config.Failures is non-empty.
+	fail failState
+
 	// Snapshot scratch, reused every policy round.
 	snapHosts  []consolidation.HostState
 	snapPinned []string
+	snapEvac   []string
 }
 
 // Run executes one cluster timeline to completion and returns its
@@ -209,6 +219,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.byName[h.Name] = h
 	}
 	e.snapHosts = make([]consolidation.HostState, 0, len(e.hosts))
+	e.initFailures(cfg.Failures)
 	// Explicit moves dispatch in (At, spec order); the stable sort keeps
 	// same-instant moves in the order the author wrote them.
 	e.pending = append([]TimedMove(nil), cfg.Moves...)
@@ -296,10 +307,16 @@ func (e *engine) nextEventTime() (time.Duration, bool) {
 	if e.si < len(e.shifts) {
 		consider(e.shifts[e.si].At)
 	}
+	if e.fail.fi < len(e.fail.events) {
+		consider(e.fail.events[e.fail.fi].At)
+	}
 	if len(e.timed.fs) > 0 {
 		consider(e.timed.fs[0].due)
 	}
 	for _, s := range e.active {
+		if s.down {
+			continue // stalled: the outage froze this link's clock
+		}
 		consider(s.nextAt(e.now))
 	}
 	return t, ok
@@ -315,6 +332,9 @@ func (e *engine) advance(t time.Duration) {
 	dt := t - e.now
 	if dt > 0 {
 		for _, s := range e.active {
+			if s.down {
+				continue // outage: virtual time freezes, work is preserved
+			}
 			s.virt += dt / s.occ()
 		}
 	}
@@ -381,15 +401,20 @@ func (e *engine) fire(t time.Duration) error {
 	for _, f := range e.due {
 		e.transition(f, t)
 	}
+
+	// 2. Failure events: same-instant completions above beat the
+	// failure; shifts and dispatches below observe the post-failure
+	// state. Aborts may empty switch heaps, so compaction follows.
+	e.applyFailures(t)
 	e.compactActive()
 
-	// 2. Workload phase transitions.
+	// 3. Workload phase transitions.
 	for e.si < len(e.shifts) && e.shifts[e.si].At <= t {
 		e.rep.Shifts = append(e.rep.Shifts, e.shifts[e.si])
 		e.si++
 	}
 
-	// 3. New dispatches: the policy tick's plan, then explicit moves.
+	// 4. New dispatches: the policy tick's plan, then explicit moves.
 	return e.dispatchDue(t)
 }
 
@@ -398,9 +423,10 @@ func (e *engine) fire(t time.Duration) error {
 func (e *engine) dispatchDue(t time.Duration) error {
 	var batch []TimedMove
 	if e.cfg.Policy != nil && e.tick <= t && e.tick < e.cfg.Horizon {
-		snap, pinned := e.snapshot(t)
+		snap, pinned, evac := e.snapshot(t)
 		pc := e.cfg.PolicyConfig
 		pc.Pinned = pinned
+		pc.Evacuate = evac
 		plan, err := e.cfg.Policy.Plan(snap, pc)
 		if err != nil {
 			return fmt.Errorf("cluster: policy %s at t=%v: %w", e.cfg.Policy.Name(), t, err)
@@ -408,8 +434,13 @@ func (e *engine) dispatchDue(t time.Duration) error {
 		for _, m := range plan.Moves {
 			batch = append(batch, TimedMove{VM: m.VM, From: m.From, To: m.To, At: t})
 		}
-		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: e.inFlight})
+		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: len(pinned)})
 		e.tick += e.cfg.Tick
+		// Abort cool-downs last exactly one round: this tick planned
+		// around them, the next is free to move the VM again.
+		for name := range e.fail.repin {
+			delete(e.fail.repin, name)
+		}
 	}
 	for len(e.pending) > 0 && e.pending[0].At <= t {
 		batch = append(batch, e.pending[0])
@@ -424,11 +455,14 @@ func (e *engine) dispatchDue(t time.Duration) error {
 // snapshot renders the cluster as the consolidation layer sees it at
 // time t: every resident guest with its phase-evaluated demand, with
 // in-flight guests pinned on their source and their destination
-// capacity held by a pinned reservation entry. The returned slices are
-// the engine's persistent scratch buffers, valid until the next
-// snapshot; policies deep-copy before planning.
-func (e *engine) snapshot(t time.Duration) ([]consolidation.HostState, []string) {
+// capacity held by a pinned reservation entry. Crashed hosts are
+// marked Down and their non-migrating residents listed as evacuees; a
+// VM in its post-abort cool-down is pinned like a mover. The returned
+// slices are the engine's persistent scratch buffers, valid until the
+// next snapshot; policies deep-copy before planning.
+func (e *engine) snapshot(t time.Duration) (hosts []consolidation.HostState, pinned, evacuate []string) {
 	e.snapPinned = e.snapPinned[:0]
+	e.snapEvac = e.snapEvac[:0]
 	out := e.snapHosts[:0]
 	for _, h := range e.hosts {
 		vms := h.snap[:0]
@@ -439,7 +473,12 @@ func (e *engine) snapshot(t time.Duration) ([]consolidation.HostState, []string)
 				BusyVCPUs:  v.busyAt(t),
 				DirtyRatio: v.dirtyAt(t),
 			})
-			if v.migrating {
+			switch {
+			case v.migrating:
+				e.snapPinned = append(e.snapPinned, v.Name)
+			case h.down:
+				e.snapEvac = append(e.snapEvac, v.Name)
+			case e.fail.repin[v.Name]:
 				e.snapPinned = append(e.snapPinned, v.Name)
 			}
 		}
@@ -458,12 +497,14 @@ func (e *engine) snapshot(t time.Duration) ([]consolidation.HostState, []string)
 			Threads:   h.Threads,
 			MemBytes:  h.MemBytes,
 			IdlePower: h.IdlePower,
+			Down:      h.down,
 			VMs:       vms,
 		})
 	}
 	e.snapHosts = out
 	sort.Strings(e.snapPinned)
-	return out, e.snapPinned
+	sort.Strings(e.snapEvac)
+	return out, e.snapPinned, e.snapEvac
 }
 
 // lower translates one move into a two-host testbed scenario, exactly
@@ -519,6 +560,15 @@ func (e *engine) checkMove(m TimedMove) (*vmRT, *hostRT, error) {
 		return nil, nil, fmt.Errorf("cluster: no migration path from %s (%s) to %s (%s): different switches",
 			v.host.Name, v.host.sw, dst.Name, dst.sw)
 	}
+	// Failure-aware admission: a crashed host takes no guests, a downed
+	// switch carries no new transfers. Moving *off* a crashed host is
+	// allowed — that is what an evacuation is.
+	if dst.down {
+		return nil, nil, fmt.Errorf("cluster: destination host %q is down", m.To)
+	}
+	if e.switchDown(dst.sw) {
+		return nil, nil, fmt.Errorf("cluster: switch %q is down, refusing to admit %q", dst.sw, m.VM)
+	}
 	return v, dst, nil
 }
 
@@ -526,34 +576,43 @@ func (e *engine) checkMove(m TimedMove) (*vmRT, *hostRT, error) {
 // move is lowered against the pre-batch state, the kernel runs fan out
 // in parallel (each seeded by its dispatch index), and the resulting
 // flights join the timeline.
+//
+// The batch is transactional: checks and lowering stage into locals,
+// and nothing — not the migrating flags, the incoming reservations,
+// the dispatch counter, nor the scheduler heaps — mutates until every
+// kernel run has succeeded. A simulate failure therefore leaves the
+// engine exactly as it was, so abort/retry layers above never observe
+// a half-dispatched batch.
 func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 	flights := make([]*flight, 0, len(batch))
 	scs := make([]sim.Scenario, 0, len(batch))
+	staged := make(map[string]bool, len(batch))
 	for _, m := range batch {
 		v, dst, err := e.checkMove(m)
 		if err != nil {
 			return err
 		}
-		sc := e.lower(v, v.host, dst, t, e.nextIdx)
+		// A duplicate move of the same VM later in the batch must trip
+		// the same guard a committed flight would. Lowering is
+		// unaffected: it reads demands, so every scenario in the batch
+		// sees the dispatch-instant state.
+		if staged[m.VM] {
+			return fmt.Errorf("cluster: VM %q is already migrating", m.VM)
+		}
+		staged[m.VM] = true
+		idx := e.nextIdx + len(flights)
+		sc := e.lower(v, v.host, dst, t, idx)
 		f := &flight{
-			idx: e.nextIdx, vm: v, from: v.host, to: dst,
+			idx: idx, vm: v, from: v.host, to: dst,
 			sw: dst.sw, pair: sc.Pair, start: t,
 			resName: v.Name + "+incoming", heapIdx: -1,
 		}
 		flights = append(flights, f)
 		scs = append(scs, sc)
-		e.nextIdx++
-		// Mark the mover immediately so a duplicate move of the same VM
-		// later in this batch trips checkMove's already-migrating guard.
-		// Lowering is unaffected: it reads demands, not the flag, so
-		// every scenario in the batch still sees the dispatch-instant
-		// state.
-		v.migrating = true
-		dst.incoming = append(dst.incoming, f)
 	}
 	runs, err := e.simulate(scs, func(i int) int { return flights[i].idx })
 	if err != nil {
-		return err
+		return err // nothing committed: the engine state is untouched
 	}
 	for i, run := range runs {
 		f := flights[i]
@@ -562,6 +621,13 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 		f.work = run.Bounds.TE - run.Bounds.TS
 		f.intrinsic = f.work
 		f.tailSpan = run.Bounds.ME - run.Bounds.TE
+	}
+	// Commit: the batch becomes engine state only from here on.
+	e.nextIdx += len(flights)
+	for _, f := range flights {
+		f.vm.migrating = true
+		f.to.incoming = append(f.to.incoming, f)
+		e.fail.airborne = append(e.fail.airborne, f)
 	}
 	if e.cfg.referenceScan {
 		e.flights = append(e.flights, flights...)
@@ -581,12 +647,16 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 // parallel, wrapping any failure with the identity of its move (idx
 // maps a batch position to the move's dispatch index).
 func (e *engine) simulate(scs []sim.Scenario, idx func(i int) int) ([]*sim.RunResult, error) {
+	run := e.cfg.Cache.Run
+	if e.cfg.simOverride != nil {
+		run = e.cfg.simOverride
+	}
 	return parallel.Map(e.cfg.Workers, len(scs), func(i int) (*sim.RunResult, error) {
-		run, err := e.cfg.Cache.Run(scs[i])
+		res, err := run(scs[i])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: executing move %d (%s): %w", idx(i), scs[i].Name, err)
 		}
-		return run, nil
+		return res, nil
 	})
 }
 
@@ -616,6 +686,15 @@ func (e *engine) land(f *flight, t time.Duration) {
 			break
 		}
 	}
+	e.removeAirborne(f)
+	// A flight leaving a crashed host carries an orphan to safety; later
+	// consolidation moves of the same VM (from a live host) must not
+	// touch its recorded evacuation instant.
+	if f.from.down && e.fail.orphanedAt != nil {
+		if _, orphan := e.fail.orphanedAt[f.vm.Name]; orphan {
+			e.fail.evacuatedAt[f.vm.Name] = t
+		}
+	}
 	e.inFlight--
 	e.recs = append(e.recs, indexedRec{idx: f.idx, rec: e.record(f, t)})
 }
@@ -642,6 +721,9 @@ func (e *engine) record(f *flight, end time.Duration) MigrationRecord {
 
 // finish assembles the report once the timeline has drained.
 func (e *engine) finish() {
+	// Flights still stalled on an unrestored switch never complete; the
+	// timeline has drained, so abort them as stranded before scoring.
+	e.strandRemaining()
 	sort.Slice(e.recs, func(i, j int) bool { return e.recs[i].idx < e.recs[j].idx })
 	for _, ir := range e.recs {
 		e.rep.Timeline = append(e.rep.Timeline, ir.rec)
@@ -656,14 +738,26 @@ func (e *engine) finish() {
 	e.rep.PeakFlights = e.peak
 	e.rep.ReplanRounds = len(e.rep.Ticks)
 	for _, h := range e.hosts {
-		if len(h.vms) == 0 {
+		if len(h.vms) == 0 && !h.down {
 			e.rep.FreedHosts = append(e.rep.FreedHosts, h.Name)
 			e.rep.IdleSavings += h.IdlePower
 		}
 	}
+	// Aborted flights spent real energy buying nothing; it still counts.
+	for _, a := range e.rep.Aborted {
+		e.rep.TotalEnergy += a.Energy
+	}
+	e.scoreSLO()
+	e.buildPowerTrace()
 	// The report escapes the engine; deep-copy the final placement out of
-	// the reusable snapshot scratch.
-	snap, _ := e.snapshot(e.rep.Makespan)
+	// the reusable snapshot scratch. Ticked timelines run to the horizon
+	// even when the last migration lands earlier, so the final demand is
+	// evaluated at the instant the timeline actually ended.
+	at := e.rep.Makespan
+	if e.cfg.Policy != nil && e.cfg.Horizon > at {
+		at = e.cfg.Horizon
+	}
+	snap, _, _ := e.snapshot(at)
 	e.rep.Final = make([]consolidation.HostState, len(snap))
 	for i, h := range snap {
 		h.VMs = append([]consolidation.VMState(nil), h.VMs...)

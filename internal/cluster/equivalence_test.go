@@ -90,43 +90,116 @@ func randomFleet(r *rand.Rand) Config {
 	return cfg
 }
 
+// injectFailures adds a random failure schedule to a generated fleet:
+// 1–2 host crashes and up to 2 flight-aborts always, plus an outage
+// window on explicit variants (policies plan moves during outages,
+// which the engine refuses by design — outage fleets stay explicit).
+// Explicit moves are repaired where the schedule statically dooms them:
+// moves into a crashed host are dropped, moves inside an outage window
+// slip to the restore instant.
+func injectFailures(r *rand.Rand, cfg *Config) {
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		for _, m := range cfg.Moves {
+			if m.At > horizon {
+				horizon = m.At
+			}
+		}
+		horizon += 4 * time.Minute
+	}
+	var vms []string
+	for _, h := range cfg.Hosts {
+		for _, v := range h.VMs {
+			vms = append(vms, v.Name)
+		}
+	}
+	perm := r.Perm(len(cfg.Hosts))
+	for k := 0; k < 1+r.Intn(2) && k < len(perm); k++ {
+		host := cfg.Hosts[perm[k]].Name
+		at := time.Duration(r.Int63n(int64(horizon)))
+		cfg.Failures = append(cfg.Failures, FailureEvent{At: at, Kind: FailHostCrash, Host: host})
+		kept := cfg.Moves[:0]
+		for _, m := range cfg.Moves {
+			if m.To == host && m.At >= at {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		cfg.Moves = kept
+	}
+	for k := r.Intn(3); k > 0 && len(vms) > 0; k-- {
+		cfg.Failures = append(cfg.Failures, FailureEvent{
+			At:   time.Duration(r.Int63n(int64(horizon))),
+			Kind: FailFlightAbort,
+			VM:   vms[r.Intn(len(vms))],
+		})
+	}
+	if cfg.Policy == nil && r.Intn(2) == 0 {
+		// All generator machines share one switch domain.
+		const sw = "Cisco Catalyst 3750"
+		a := time.Duration(r.Int63n(int64(horizon)))
+		b := a + time.Duration(10+r.Intn(50))*time.Second
+		cfg.Failures = append(cfg.Failures,
+			FailureEvent{At: a, Kind: FailSwitchOutage, Switch: sw},
+			FailureEvent{At: b, Kind: FailSwitchRestore, Switch: sw},
+		)
+		for i := range cfg.Moves {
+			if cfg.Moves[i].At >= a && cfg.Moves[i].At < b {
+				cfg.Moves[i].At = b
+			}
+		}
+	}
+}
+
 // TestSchedulerEquivalence is the tentpole's safety net: on randomized
 // fleets, the heap scheduler (indexed event heap + per-switch virtual
 // time) and the retained linear-scan reference must produce
 // bit-identical reports — the same MigrationRecord stream, tick
-// records, shifts, stretches and energies.
+// records, shifts, stretches, energies, aborts and SLO scores. The
+// second half of the fleets inject random failure schedules (crashes,
+// flight-aborts, outage windows), so the equivalence covers the abort
+// paths too; a fleet where planning legitimately fails must fail
+// identically on both schedulers.
 func TestSchedulerEquivalence(t *testing.T) {
 	cache := sim.NewCache(0)
 	r := rand.New(rand.NewSource(20260728))
-	fleets := 0
-	for i := 0; i < 10; i++ {
+	fleets, aborted := 0, 0
+	for i := 0; i < 22; i++ {
 		cfg := randomFleet(r)
+		if i >= 10 {
+			injectFailures(r, &cfg)
+		}
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("fleet %d: generator produced an invalid config: %v", i, err)
 		}
 		fast := cfg
 		fast.Cache = cache
-		want, err := Run(fast)
-		if err != nil {
-			t.Fatalf("fleet %d: heap scheduler: %v", i, err)
-		}
+		want, errFast := Run(fast)
 		ref := cfg
 		ref.Cache = cache
 		ref.referenceScan = true
-		got, err := Run(ref)
-		if err != nil {
-			t.Fatalf("fleet %d: reference scheduler: %v", i, err)
+		got, errRef := Run(ref)
+		if (errFast == nil) != (errRef == nil) ||
+			(errFast != nil && errFast.Error() != errRef.Error()) {
+			t.Fatalf("fleet %d: schedulers disagree on failure:\nheap: %v\nscan: %v", i, errFast, errRef)
+		}
+		if errFast != nil {
+			continue
 		}
 		if !reflect.DeepEqual(want, got) {
-			t.Errorf("fleet %d (policy=%v, %d moves): heap and linear-scan reports differ:\nheap: %+v\nscan: %+v",
-				i, cfg.Policy != nil, len(cfg.Moves), want, got)
+			t.Errorf("fleet %d (policy=%v, %d moves, %d failures): heap and linear-scan reports differ:\nheap: %+v\nscan: %+v",
+				i, cfg.Policy != nil, len(cfg.Moves), len(cfg.Failures), want, got)
 		}
 		if len(want.Timeline) > 0 {
 			fleets++
 		}
+		aborted += want.AbortedFlights
 	}
-	if fleets < 5 {
-		t.Fatalf("only %d of 10 random fleets migrated anything; generator drift weakens the property", fleets)
+	if fleets < 10 {
+		t.Fatalf("only %d of 22 random fleets migrated anything; generator drift weakens the property", fleets)
+	}
+	if aborted == 0 {
+		t.Fatal("no random failure schedule ever aborted a flight; the abort paths went unexercised")
 	}
 }
 

@@ -57,7 +57,13 @@ func (e *engine) nextEventTimeScan() (time.Duration, bool) {
 	if e.si < len(e.shifts) {
 		consider(e.shifts[e.si].At)
 	}
+	if e.fail.fi < len(e.fail.events) {
+		consider(e.fail.events[e.fail.fi].At)
+	}
 	for _, f := range e.flights {
+		if f.state == fTransfer && e.switchDown(f.sw) {
+			continue // stalled: the outage froze this link's clock
+		}
 		consider(e.flightEventTime(f))
 	}
 	return t, ok
@@ -73,6 +79,9 @@ func (e *engine) advanceScan(t time.Duration) {
 		for _, f := range e.flights {
 			if f.state != fTransfer {
 				continue
+			}
+			if e.switchDown(f.sw) {
+				continue // outage: the clock freezes, work is preserved
 			}
 			f.work -= dt / time.Duration(e.occupancy(f.sw))
 			if f.work < 0 {
@@ -122,12 +131,17 @@ func (e *engine) fireScan(t time.Duration) error {
 	}
 	e.flights = kept
 
-	// 2. Workload phase transitions.
+	// 2. Failure events: same-instant completions above beat the
+	// failure; shifts and dispatches below observe the post-failure
+	// state.
+	e.applyFailures(t)
+
+	// 3. Workload phase transitions.
 	for e.si < len(e.shifts) && e.shifts[e.si].At <= t {
 		e.rep.Shifts = append(e.rep.Shifts, e.shifts[e.si])
 		e.si++
 	}
 
-	// 3. New dispatches: the policy tick's plan, then explicit moves.
+	// 4. New dispatches: the policy tick's plan, then explicit moves.
 	return e.dispatchDue(t)
 }

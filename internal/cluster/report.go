@@ -43,8 +43,40 @@ type TickRecord struct {
 	At time.Duration
 	// Moves is how many migrations the round planned and dispatched.
 	Moves int
-	// Pinned is how many in-flight VMs the round had to plan around.
+	// Pinned is how many placement entries the round's snapshot pinned —
+	// what the policy actually saw: every in-flight migration contributes
+	// two (the migrating VM on its source and its "+incoming" destination
+	// reservation), and a VM whose flight just aborted contributes one
+	// for its one-round cool-down.
 	Pinned int
+}
+
+// AbortRecord is one in-flight migration killed by a failure event.
+type AbortRecord struct {
+	// VM, From and To identify the killed move.
+	VM, From, To string
+	// Pair is the testbed pair the move was lowered onto.
+	Pair string
+	// Start is the dispatch instant; End is the abort instant.
+	Start, End time.Duration
+	// Phase is the lifecycle phase the abort hit: "head", "transfer" or
+	// "tail".
+	Phase string
+	// Reason labels the killing event: "host-crash <host>",
+	// "flight-abort", or "stranded" (the flight was still stalled on an
+	// unrestored switch when the timeline drained).
+	Reason string
+	// Energy is the share of the kernel-measured migration energy spent
+	// before the abort (charged to TotalEnergy; the migration bought
+	// nothing with it).
+	Energy units.Joules
+}
+
+// PowerPoint is one breakpoint of the fleet power trace: from At
+// onward the fleet draws Watts, until the next point.
+type PowerPoint struct {
+	At    time.Duration
+	Watts units.Watts
 }
 
 // PhaseShift is one workload phase transition of the timeline.
@@ -92,4 +124,28 @@ type Report struct {
 	// ReplanRounds is how many policy rounds executed (== len(Ticks);
 	// 0 for explicit timelines).
 	ReplanRounds int
+	// Aborted lists the migrations killed by failure events, in abort
+	// order (empty without failure injection).
+	Aborted []AbortRecord
+	// AbortedFlights is len(Aborted) — the timeline's SLO-visible
+	// failure count.
+	AbortedFlights int
+	// OrphanedVMs counts the VMs stranded by host crashes;
+	// EvacuatedVMs counts how many of them landed on a live host again.
+	OrphanedVMs  int
+	EvacuatedVMs int
+	// EvacuationDeadlineMet reports the crash-recovery SLO: every
+	// orphaned VM landed on a live host, within
+	// Config.EvacuationDeadline of its crash when a deadline is set.
+	// Vacuously true when nothing crashed.
+	EvacuationDeadlineMet bool
+	// PowerTrace is the fleet's piecewise-constant power timeline: the
+	// idle floors of the live hosts (a crashed host's floor drops out at
+	// the crash) plus each migration's — and each aborted flight's —
+	// energy spread over its wall-clock span.
+	PowerTrace []PowerPoint
+	// FleetEnergy integrates PowerTrace over [0, max(Makespan, Horizon,
+	// last breakpoint)]: the energy-over-time score chaos scenarios are
+	// judged by, idle draw included.
+	FleetEnergy units.Joules
 }

@@ -34,6 +34,10 @@ type swState struct {
 	heap flightHeap
 	// active marks membership in the engine's active-switch list.
 	active bool
+	// down marks an injected outage window: advance() freezes the
+	// switch's virtual clock (transfers stall with their remaining work
+	// intact) and checkMove refuses new admissions until restore.
+	down bool
 }
 
 // occ is the switch occupancy: how many transfers currently share the
@@ -88,6 +92,24 @@ func (h *flightHeap) pop() *flight {
 	}
 	f.heapIdx = -1
 	return f
+}
+
+// remove deletes a flight from any heap position in O(log n) via its
+// tracked index — the abort path's counterpart to pop.
+func (h *flightHeap) remove(f *flight) {
+	i := f.heapIdx
+	last := len(h.fs) - 1
+	if i != last {
+		h.fs[i] = h.fs[last]
+		h.fs[i].heapIdx = i
+	}
+	h.fs[last] = nil
+	h.fs = h.fs[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	f.heapIdx = -1
 }
 
 func (h *flightHeap) up(i int) {

@@ -47,6 +47,10 @@ type HostState struct {
 	// IdlePower is what the host draws doing nothing — the saving made by
 	// emptying and switching it off.
 	IdlePower units.Watts
+	// Down marks a crashed host: it must not receive placements, it
+	// draws no reclaimable idle power (so emptying it frees nothing),
+	// and its residents are evacuation candidates (see Config.Evacuate).
+	Down bool
 	// VMs are the resident guests.
 	VMs []VMState
 }
@@ -165,6 +169,12 @@ type Config struct {
 	// Names that match no VM are ignored, so callers can pin
 	// reservations without checking whether they materialised.
 	Pinned []string
+	// Evacuate names VMs stranded on Down hosts that must be placed
+	// before any consolidation work. Policies place them onto live hosts
+	// first — largest demand first, names breaking ties — and leave any
+	// that cannot be placed this round where they sit (the next round
+	// retries). Names that match no VM are ignored.
+	Evacuate []string
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +194,18 @@ func (c Config) pinnedSet() map[string]bool {
 	}
 	set := make(map[string]bool, len(c.Pinned))
 	for _, name := range c.Pinned {
+		set[name] = true
+	}
+	return set
+}
+
+// evacuateSet indexes the evacuation VM names.
+func (c Config) evacuateSet() map[string]bool {
+	if len(c.Evacuate) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(c.Evacuate))
+	for _, name := range c.Evacuate {
 		set[name] = true
 	}
 	return set
@@ -269,10 +291,12 @@ func removeVMSlice(vms *[]VMState, name string) (VMState, bool) {
 	return VMState{}, false
 }
 
-// finishPlan computes the aggregate fields from the working state.
+// finishPlan computes the aggregate fields from the working state. A
+// crashed host emptied by evacuation is not "freed": it already draws
+// nothing, so switching it off reclaims nothing.
 func finishPlan(plan *Plan, hosts []HostState) {
 	for _, h := range hosts {
-		if len(h.VMs) == 0 {
+		if len(h.VMs) == 0 && !h.Down {
 			plan.FreedHosts = append(plan.FreedHosts, h.Name)
 			plan.IdleSavings += h.IdlePower
 		}

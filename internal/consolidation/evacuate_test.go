@@ -1,0 +1,137 @@
+package consolidation
+
+import (
+	"testing"
+)
+
+// downDC is smallDC with host c crashed: its resident ("cache") is the
+// evacuation candidate.
+func downDC() []HostState {
+	dc := smallDC()
+	dc[2].Down = true
+	return dc
+}
+
+func TestEnergyAwareEvacuatesBeforeConsolidating(t *testing.T) {
+	model := &stubModel{}
+	plan, err := EnergyAware{Model: model}.Plan(downDC(), Config{
+		Evacuate: []string{"cache"},
+		MaxMoves: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single move budget goes to the evacuation, not to a drain.
+	if len(plan.Moves) != 1 || plan.Moves[0].VM != "cache" || plan.Moves[0].From != "c" {
+		t.Fatalf("moves = %+v, want the evacuation of cache off c", plan.Moves)
+	}
+	if plan.Moves[0].To == "c" {
+		t.Fatal("evacuation stayed on the dead host")
+	}
+	if plan.Moves[0].Cost.Energy <= 0 {
+		t.Error("evacuation move carries no cost")
+	}
+	// The emptied dead host is not a freed host: it draws nothing.
+	for _, h := range plan.FreedHosts {
+		if h == "c" {
+			t.Error("dead host c counted as freed")
+		}
+	}
+}
+
+func TestEnergyAwareEvacuationIgnoresPaybackAndWakesSpares(t *testing.T) {
+	// A fleet where the only live refuge is an empty spare: ordinary
+	// drains never wake empty hosts, evacuations must.
+	hosts := []HostState{
+		{Name: "dead", Threads: 32, MemBytes: gib(32), IdlePower: 440, Down: true, VMs: []VMState{
+			{Name: "orphan", MemBytes: gib(4), BusyVCPUs: 4, DirtyRatio: 0.1},
+		}},
+		{Name: "full", Threads: 32, MemBytes: gib(32), IdlePower: 440, VMs: []VMState{
+			{Name: "busy", MemBytes: gib(4), BusyVCPUs: 28, DirtyRatio: 0.1},
+		}},
+		{Name: "spare", Threads: 32, MemBytes: gib(32), IdlePower: 440},
+	}
+	plan, err := EnergyAware{Model: &stubModel{}}.Plan(hosts, Config{Evacuate: []string{"orphan"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 1 || plan.Moves[0].VM != "orphan" || plan.Moves[0].To != "spare" {
+		t.Fatalf("moves = %+v, want orphan evacuated to the empty spare", plan.Moves)
+	}
+}
+
+func TestEnergyAwareUnplaceableEvacueeIsLeftForNextRound(t *testing.T) {
+	hosts := []HostState{
+		{Name: "dead", Threads: 32, MemBytes: gib(32), IdlePower: 440, Down: true, VMs: []VMState{
+			{Name: "orphan", MemBytes: gib(30), BusyVCPUs: 4, DirtyRatio: 0.1},
+		}},
+		{Name: "full", Threads: 32, MemBytes: gib(16), IdlePower: 440, VMs: []VMState{
+			{Name: "busy", MemBytes: gib(4), BusyVCPUs: 8, DirtyRatio: 0.1},
+		}},
+		{Name: "tiny", Threads: 32, MemBytes: gib(8), IdlePower: 440, VMs: []VMState{
+			{Name: "small", MemBytes: gib(2), BusyVCPUs: 2, DirtyRatio: 0.1},
+		}},
+	}
+	plan, err := EnergyAware{Model: &stubModel{}}.Plan(hosts, Config{Evacuate: []string{"orphan"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range plan.Moves {
+		if m.VM == "orphan" {
+			t.Fatalf("orphan (30 GiB) placed despite no host having room: %+v", m)
+		}
+	}
+}
+
+func TestEnergyAwareNeverDrainsOntoDownHost(t *testing.T) {
+	dc := smallDC()
+	// Crash the natural drain target; the drain of c must route its VM
+	// elsewhere or not at all — never onto the dead host.
+	dc[1].Down = true
+	plan, err := EnergyAware{Model: &stubModel{}}.Plan(dc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range plan.Moves {
+		if m.To == "b" {
+			t.Errorf("move %+v targets the crashed host", m)
+		}
+	}
+}
+
+func TestFFDEvacueesPackFirst(t *testing.T) {
+	plan, err := FirstFitDecreasing{Model: &stubModel{}}.Plan(downDC(), Config{
+		Evacuate: []string{"cache"},
+		MaxMoves: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cache has the smallest demand — pure FFD would pack it last and
+	// the 1-move budget would go to a bigger VM. Evacuees jump the
+	// queue.
+	if len(plan.Moves) != 1 || plan.Moves[0].VM != "cache" {
+		t.Fatalf("moves = %+v, want the evacuation of cache to spend the single move", plan.Moves)
+	}
+	if plan.Moves[0].To == "c" {
+		t.Fatal("FFD placed the evacuee back on the dead host")
+	}
+}
+
+func TestFFDSkipsDownBins(t *testing.T) {
+	dc := downDC()
+	plan, err := FirstFitDecreasing{Model: &stubModel{}}.Plan(dc, Config{Evacuate: []string{"cache"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range plan.Moves {
+		if m.To == "c" {
+			t.Errorf("move %+v targets the crashed bin", m)
+		}
+	}
+	for _, h := range plan.FreedHosts {
+		if h == "c" {
+			t.Error("dead bin c counted as freed")
+		}
+	}
+}

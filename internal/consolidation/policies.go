@@ -113,6 +113,12 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	pinned := cfg.pinnedSet()
 	received := make([]bool, len(st.hosts)) // hosts that gained VMs this round
 
+	// Evacuations come first: VMs stranded on crashed hosts are placed
+	// before any consolidation work spends the move budget.
+	if err := p.evacuate(st, cfg, plan, pinned, received); err != nil {
+		return nil, err
+	}
+
 	// Drain candidates: least loaded first (cheapest to empty). Busy
 	// totals come from the cached aggregates — the same values a
 	// per-comparison re-sum would produce, without the O(H² log H)
@@ -133,6 +139,11 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	for _, si := range order {
 		src := &st.hosts[si]
 		if len(src.VMs) == 0 {
+			continue
+		}
+		// A crashed host draws no idle power: emptying it frees nothing,
+		// and its residents move through evacuation, not consolidation.
+		if src.Down {
 			continue
 		}
 		// A host that just received migrations is pinned for this round:
@@ -183,6 +194,79 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	return plan, nil
 }
 
+// evacuate places the VMs named by Config.Evacuate — stranded on Down
+// hosts — onto live hosts, hardest (biggest demand) first, each to the
+// admissible target with the lowest predicted migration energy. Unlike
+// drains, evacuations are unconditional: there is no all-or-nothing
+// gate and no payback check — a stranded VM runs nowhere until it
+// moves. Empty hosts ARE admissible refuge targets (waking a spare
+// beats leaving a VM stranded). A VM with no admissible target stays
+// put for this round; the next round retries.
+func (p EnergyAware) evacuate(st *planState, cfg Config, plan *Plan, pinned map[string]bool, received []bool) error {
+	evac := cfg.evacuateSet()
+	if evac == nil {
+		return nil
+	}
+	type cand struct {
+		vm VMState
+		si int
+	}
+	var cands []cand
+	for i := range st.hosts {
+		if !st.hosts[i].Down {
+			continue
+		}
+		for _, v := range st.hosts[i].VMs {
+			if evac[v.Name] && !pinned[v.Name] {
+				cands = append(cands, cand{v, i})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].vm.BusyVCPUs != cands[j].vm.BusyVCPUs {
+			return cands[i].vm.BusyVCPUs > cands[j].vm.BusyVCPUs
+		}
+		return cands[i].vm.Name < cands[j].vm.Name
+	})
+	for _, c := range cands {
+		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
+			return nil
+		}
+		best := -1
+		var bestCost MigrationCost
+		for j := range st.hosts {
+			if j == c.si || st.hosts[j].Down {
+				continue
+			}
+			if st.busy[j]+c.vm.BusyVCPUs > float64(st.hosts[j].Threads)*cfg.CPUCap ||
+				st.mem[j]+c.vm.MemBytes > st.hosts[j].MemBytes {
+				continue
+			}
+			cost, err := p.Model.Cost(c.vm, st.busy[c.si]-c.vm.BusyVCPUs, st.busy[j])
+			if err != nil {
+				return err
+			}
+			if best < 0 || cost.Energy < bestCost.Energy {
+				best = j
+				bestCost = cost
+			}
+		}
+		if best < 0 {
+			continue // unplaceable this round; the next tick retries
+		}
+		vm, found := removeVM(&st.hosts[c.si], c.vm.Name)
+		if !found {
+			return fmt.Errorf("consolidation: internal error, VM %q vanished", c.vm.Name)
+		}
+		st.hosts[best].VMs = append(st.hosts[best].VMs, vm)
+		st.recompute(c.si)
+		st.recompute(best)
+		received[best] = true
+		plan.Moves = append(plan.Moves, Move{VM: vm.Name, From: st.hosts[c.si].Name, To: st.hosts[best].Name, Cost: bestCost})
+	}
+	return nil
+}
+
 // drain plans the complete evacuation of host si, tentatively, against
 // the scratch deltas — the working state itself is untouched until the
 // caller commits. It returns ok=false when some VM has no admissible
@@ -222,8 +306,9 @@ func (p EnergyAware) drain(st *planState, si int, cfg Config, movesSoFar int, sc
 			}
 			// Never wake an already-empty host to fill it: that defeats
 			// consolidation. (Empty hosts never receive tentative adds, so
-			// the resident count needs no delta tracking.)
-			if len(st.hosts[j].VMs) == 0 {
+			// the resident count needs no delta tracking.) Crashed hosts
+			// take no guests at all.
+			if len(st.hosts[j].VMs) == 0 || st.hosts[j].Down {
 				continue
 			}
 			busy, mem := sc.effective(st, j)
@@ -274,6 +359,7 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
 	plan := &Plan{}
 	pinned := cfg.pinnedSet()
+	evac := cfg.evacuateSet()
 
 	// Pre-plan state: the input is read-only, so origin loads (for move
 	// pricing) come straight from it — no working clone needed.
@@ -300,7 +386,13 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 			all = append(all, placed{v, h.Name})
 		}
 	}
+	// Evacuees pack first — a stranded VM runs nowhere until placed, so
+	// it must not lose its slot to ordinary re-packing under MaxMoves.
 	sort.Slice(all, func(i, j int) bool {
+		ei, ej := evac[all[i].vm.Name], evac[all[j].vm.Name]
+		if ei != ej {
+			return ei
+		}
 		if all[i].vm.BusyVCPUs != all[j].vm.BusyVCPUs {
 			return all[i].vm.BusyVCPUs > all[j].vm.BusyVCPUs
 		}
@@ -338,6 +430,9 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		}
 		placedAt := -1
 		for i := range bins {
+			if bins[i].Down {
+				continue // crashed bins take no guests
+			}
 			if binBusy[i]+pl.vm.BusyVCPUs <= float64(bins[i].Threads)*cfg.CPUCap &&
 				binMem[i]+pl.vm.MemBytes <= bins[i].MemBytes {
 				bins[i].VMs = append(bins[i].VMs, pl.vm)

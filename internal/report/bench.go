@@ -23,6 +23,43 @@ type BenchArtefact struct {
 	// for artefacts recorded without cache attribution.
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// SLO scoring of chaos (failure-injecting) cluster scenarios; all
+	// omitted for artefacts without failure injection, so historical
+	// snapshots compare cleanly.
+	AbortedFlights int `json:"aborted_flights,omitempty"`
+	OrphanedVMs    int `json:"orphaned_vms,omitempty"`
+	EvacuatedVMs   int `json:"evacuated_vms,omitempty"`
+	// EvacuationDeadlineMet is a pointer so "not a chaos scenario"
+	// (absent) and "deadline missed" (false) stay distinguishable.
+	EvacuationDeadlineMet *bool `json:"evacuation_deadline_met,omitempty"`
+	// FleetEnergyJ integrates the fleet power trace — idle floors plus
+	// migration spans — over the scenario's span.
+	FleetEnergyJ float64 `json:"fleet_energy_j,omitempty"`
+}
+
+// SLO describes the failure-injection outcome of a chaos scenario for
+// AnnotateSLO.
+type SLO struct {
+	AbortedFlights int
+	OrphanedVMs    int
+	EvacuatedVMs   int
+	DeadlineMet    bool
+	FleetEnergyJ   float64
+}
+
+// AnnotateSLO attaches chaos-scenario SLO scores to the most recently
+// added artefact (a no-op when nothing has been added).
+func (r *BenchReport) AnnotateSLO(s SLO) {
+	if len(r.Artefacts) == 0 {
+		return
+	}
+	a := &r.Artefacts[len(r.Artefacts)-1]
+	a.AbortedFlights = s.AbortedFlights
+	a.OrphanedVMs = s.OrphanedVMs
+	a.EvacuatedVMs = s.EvacuatedVMs
+	met := s.DeadlineMet
+	a.EvacuationDeadlineMet = &met
+	a.FleetEnergyJ = s.FleetEnergyJ
 }
 
 // BenchReport is the machine-readable outcome of one wavm3bench session:

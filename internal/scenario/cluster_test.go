@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/consolidation"
 	"repro/internal/migration"
+	"repro/internal/sim"
 )
 
 // clusterBase is a minimal valid cluster spec used by the validation
@@ -115,6 +118,135 @@ func TestClusterValidationPaths(t *testing.T) {
 			tc.mutate(s)
 			wantPathError(t, s.Validate(), tc.wantPath)
 		})
+	}
+}
+
+// clusterFailureBase extends clusterBase with a legal failure schedule:
+// an outage window after the move's flight and a crash of the move's
+// target well after dispatch.
+func clusterFailureBase() *Spec {
+	s := clusterBase()
+	s.Cluster.Failures = []FailureSpec{
+		{AtS: 30, Kind: "flight-abort", VM: "v1"},
+		{AtS: 600, Kind: "switch-outage", Switch: "Cisco Catalyst 3750"},
+		{AtS: 700, Kind: "switch-restore", Switch: "Cisco Catalyst 3750"},
+		{AtS: 900, Kind: "host-crash", Host: "b"},
+	}
+	s.Cluster.EvacuationDeadlineS = 600
+	return s
+}
+
+func TestClusterFailureValidationPaths(t *testing.T) {
+	if err := clusterFailureBase().Validate(); err != nil {
+		t.Fatalf("valid failure schedule rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*Spec)
+		wantPath string
+	}{
+		{"negative at", func(s *Spec) { s.Cluster.Failures[0].AtS = -1 }, "cluster.failures[0].at_s"},
+		{"unknown kind", func(s *Spec) { s.Cluster.Failures[0].Kind = "meteor" }, "cluster.failures[0].kind"},
+		{"crash without host", func(s *Spec) { s.Cluster.Failures[3].Host = "" }, "cluster.failures[3].host"},
+		{"crash unknown host", func(s *Spec) { s.Cluster.Failures[3].Host = "ghost" }, "cluster.failures[3].host"},
+		{"crash targets vm too", func(s *Spec) { s.Cluster.Failures[3].VM = "v1" }, "cluster.failures[3]"},
+		{"abort without vm", func(s *Spec) { s.Cluster.Failures[0].VM = "" }, "cluster.failures[0].vm"},
+		{"abort unknown vm", func(s *Spec) { s.Cluster.Failures[0].VM = "ghost" }, "cluster.failures[0].vm"},
+		{"abort targets host too", func(s *Spec) { s.Cluster.Failures[0].Host = "a" }, "cluster.failures[0]"},
+		{"outage without switch", func(s *Spec) { s.Cluster.Failures[1].Switch = "" }, "cluster.failures[1].switch"},
+		{"outage targets host too", func(s *Spec) { s.Cluster.Failures[1].Host = "a" }, "cluster.failures[1]"},
+		{"negative deadline", func(s *Spec) { s.Cluster.EvacuationDeadlineS = -1 }, "cluster.evacuation_deadline_s"},
+		{"deadline without failures", func(s *Spec) {
+			s.Cluster.Failures = nil
+		}, "cluster.evacuation_deadline_s"},
+		// The engine's own validation backstops the semantic checks the
+		// schema layer cannot see.
+		{"unknown switch domain", func(s *Spec) {
+			s.Cluster.Failures[1].Switch = "HP 1810-8G"
+		}, "(compiled)"},
+		{"restore without outage", func(s *Spec) {
+			s.Cluster.Failures = s.Cluster.Failures[2:]
+		}, "(compiled)"},
+		{"move into crashed host", func(s *Spec) { s.Cluster.Failures[3].AtS = 10 }, "(compiled)"},
+		{"move inside outage window", func(s *Spec) {
+			s.Cluster.Failures[1].AtS = 50
+			s.Cluster.Moves[0].AtS = 55
+		}, "(compiled)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := clusterFailureBase()
+			tc.mutate(s)
+			wantPathError(t, s.Validate(), tc.wantPath)
+		})
+	}
+}
+
+func TestClusterFailureCompile(t *testing.T) {
+	c, err := clusterFailureBase().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Cluster.Config
+	if len(cfg.Failures) != 4 {
+		t.Fatalf("failures = %+v, want 4 lowered events", cfg.Failures)
+	}
+	f := cfg.Failures[0]
+	if f.At != 30*time.Second || f.Kind != cluster.FailFlightAbort || f.VM != "v1" {
+		t.Errorf("failure 0 lowered to %+v", f)
+	}
+	if cfg.Failures[3].Kind != cluster.FailHostCrash || cfg.Failures[3].Host != "b" {
+		t.Errorf("failure 3 lowered to %+v", cfg.Failures[3])
+	}
+	if cfg.EvacuationDeadline != 600*time.Second {
+		t.Errorf("evacuation deadline = %v, want 10m", cfg.EvacuationDeadline)
+	}
+}
+
+// TestChaosScenariosDeterministic pins the chaos family's bit-identical
+// determinism across run-cache instances and worker counts: the same
+// spec must yield byte-for-byte the same report whether kernels run
+// serially, on eight workers, or with no shared cache at all.
+func TestChaosScenariosDeterministic(t *testing.T) {
+	specs, err := LoadDir(libraryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := map[string]bool{
+		"chaos-crash-cascade-16":    true,
+		"drain-under-crash-256":     true,
+		"partitioned-switch-evac-8": true,
+	}
+	found := 0
+	for _, s := range specs {
+		if !chaos[s.Name] {
+			continue
+		}
+		found++
+		c, err := s.Compile()
+		if err != nil {
+			t.Fatalf("compiling %s: %v", s.Name, err)
+		}
+		variants := []*sim.Cache{sim.NewCache(1), sim.NewCache(8), nil}
+		var first *cluster.Report
+		for vi, cache := range variants {
+			cfg := c.Cluster.Config
+			cfg.Cache = cache
+			rep, err := cluster.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", s.Name, vi, err)
+			}
+			if first == nil {
+				first = rep
+				continue
+			}
+			if !reflect.DeepEqual(first, rep) {
+				t.Errorf("%s: variant %d report differs from variant 0", s.Name, vi)
+			}
+		}
+	}
+	if found != len(chaos) {
+		t.Fatalf("found %d of %d chaos scenarios in the library", found, len(chaos))
 	}
 }
 

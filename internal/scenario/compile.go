@@ -305,6 +305,16 @@ func (s *Spec) clusterConfig() (cluster.Config, error) {
 			At: time.Duration(m.AtS * float64(time.Second)),
 		})
 	}
+	for _, f := range c.Failures {
+		cfg.Failures = append(cfg.Failures, cluster.FailureEvent{
+			At:     time.Duration(f.AtS * float64(time.Second)),
+			Kind:   cluster.FailureKind(f.Kind),
+			Host:   f.Host,
+			VM:     f.VM,
+			Switch: f.Switch,
+		})
+	}
+	cfg.EvacuationDeadline = time.Duration(c.EvacuationDeadlineS * float64(time.Second))
 	return cfg, nil
 }
 

@@ -47,17 +47,48 @@ type goldenClusterMove struct {
 	Bytes   int64   `json:"bytes"`
 }
 
+// goldenTick pins one policy round: when it fired, how many moves it
+// planned, and how many placement entries its snapshot pinned — the
+// regression anchor for the Pinned-reconciliation fix.
+type goldenTick struct {
+	AtS    float64 `json:"at_s"`
+	Moves  int     `json:"moves"`
+	Pinned int     `json:"pinned"`
+}
+
+// goldenAbort pins one failure-killed migration.
+type goldenAbort struct {
+	VM      string  `json:"vm"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Phase   string  `json:"phase"`
+	Reason  string  `json:"reason"`
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+	EnergyJ float64 `json:"energy_j"`
+}
+
 // goldenCluster pins one cluster timeline: its migrations in dispatch
 // order, the end state, and the fleet summary (peak concurrent
-// flights, worst contention stretch, re-plan rounds).
+// flights, worst contention stretch, re-plan rounds). Policy scenarios
+// also pin their tick records; chaos scenarios — the ones whose specs
+// declare failures — additionally pin aborts and the SLO scores. All
+// the extra fields are omitempty so failure-free entries keep their
+// exact historical serialisation.
 type goldenCluster struct {
-	Timeline     []goldenClusterMove `json:"timeline"`
-	TotalJ       float64             `json:"total_j"`
-	MakespanS    float64             `json:"makespan_s"`
-	Freed        []string            `json:"freed,omitempty"`
-	PeakFlights  int                 `json:"peak_flights,omitempty"`
-	MaxStretch   float64             `json:"max_stretch,omitempty"`
-	ReplanRounds int                 `json:"replan_rounds,omitempty"`
+	Timeline              []goldenClusterMove `json:"timeline"`
+	TotalJ                float64             `json:"total_j"`
+	MakespanS             float64             `json:"makespan_s"`
+	Freed                 []string            `json:"freed,omitempty"`
+	PeakFlights           int                 `json:"peak_flights,omitempty"`
+	MaxStretch            float64             `json:"max_stretch,omitempty"`
+	ReplanRounds          int                 `json:"replan_rounds,omitempty"`
+	Ticks                 []goldenTick        `json:"ticks,omitempty"`
+	Aborted               []goldenAbort       `json:"aborted,omitempty"`
+	Orphaned              int                 `json:"orphaned,omitempty"`
+	Evacuated             int                 `json:"evacuated,omitempty"`
+	EvacuationDeadlineMet *bool               `json:"evacuation_deadline_met,omitempty"`
+	FleetEnergyJ          float64             `json:"fleet_energy_j,omitempty"`
 }
 
 // golden pins the whole library: block label -> outcome, scenario name ->
@@ -108,6 +139,26 @@ func runLibrary(t *testing.T) *golden {
 					Stretch: mv.Stretch, EnergyJ: float64(mv.Energy),
 					Bytes: int64(mv.BytesSent),
 				})
+			}
+			for _, tk := range rep.Ticks {
+				gc.Ticks = append(gc.Ticks, goldenTick{
+					AtS: tk.At.Seconds(), Moves: tk.Moves, Pinned: tk.Pinned,
+				})
+			}
+			if len(s.Cluster.Failures) > 0 {
+				for _, a := range rep.Aborted {
+					gc.Aborted = append(gc.Aborted, goldenAbort{
+						VM: a.VM, From: a.From, To: a.To,
+						Phase: a.Phase, Reason: a.Reason,
+						StartS: a.Start.Seconds(), EndS: a.End.Seconds(),
+						EnergyJ: float64(a.Energy),
+					})
+				}
+				gc.Orphaned = rep.OrphanedVMs
+				gc.Evacuated = rep.EvacuatedVMs
+				met := rep.EvacuationDeadlineMet
+				gc.EvacuationDeadlineMet = &met
+				gc.FleetEnergyJ = float64(rep.FleetEnergy)
 			}
 			out.Clusters[s.Name] = gc
 			continue

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/hw"
 	"repro/internal/meter"
 	"repro/internal/migration"
@@ -417,6 +418,30 @@ type ClusterSpec struct {
 	// Policy). Moves sharing an instant start concurrently and contend
 	// on shared links.
 	Moves []TimedMoveSpec `json:"moves,omitempty"`
+	// Failures injects timed failure events — host crashes, in-flight
+	// aborts, switch outage windows — into the timeline (see
+	// cluster.FailureEvent for the semantics).
+	Failures []FailureSpec `json:"failures,omitempty"`
+	// EvacuationDeadlineS scores the crash-recovery SLO: every VM
+	// orphaned by a host crash must land on a live host within this
+	// many simulated seconds of the crash. Zero means "eventually".
+	EvacuationDeadlineS float64 `json:"evacuation_deadline_s,omitempty"`
+}
+
+// FailureSpec is one injected failure of a cluster timeline.
+type FailureSpec struct {
+	// AtS is the injection instant in simulated seconds.
+	AtS float64 `json:"at_s"`
+	// Kind selects the event: "host-crash", "flight-abort",
+	// "switch-outage" or "switch-restore".
+	Kind string `json:"kind"`
+	// Host names the crashing host (host-crash only).
+	Host string `json:"host,omitempty"`
+	// VM names the in-flight transfer to kill (flight-abort only).
+	VM string `json:"vm,omitempty"`
+	// Switch names the link domain (switch-outage / switch-restore
+	// only), e.g. "Cisco Catalyst 3750".
+	Switch string `json:"switch,omitempty"`
 }
 
 // MaxFleetReplicas bounds one fleet group's Count: a typoed count must
@@ -877,6 +902,49 @@ func (s *Spec) validateCluster(kind migration.Kind) error {
 		case m.AtS < 0:
 			return errf(name, path+".at_s", "must be non-negative, got %v", m.AtS)
 		}
+	}
+	for fi, f := range c.Failures {
+		path := fmt.Sprintf("cluster.failures[%d]", fi)
+		if f.AtS < 0 {
+			return errf(name, path+".at_s", "must be non-negative, got %v", f.AtS)
+		}
+		switch cluster.FailureKind(f.Kind) {
+		case cluster.FailHostCrash:
+			switch {
+			case f.Host == "":
+				return errf(name, path+".host", "required for kind %q", f.Kind)
+			case f.VM != "" || f.Switch != "":
+				return errf(name, path, "%q targets a host only", f.Kind)
+			case !hostSet[f.Host]:
+				return errf(name, path+".host", "unknown host %q", f.Host)
+			}
+		case cluster.FailFlightAbort:
+			switch {
+			case f.VM == "":
+				return errf(name, path+".vm", "required for kind %q", f.Kind)
+			case f.Host != "" || f.Switch != "":
+				return errf(name, path, "%q targets a VM only", f.Kind)
+			case !vmSet[f.VM]:
+				return errf(name, path+".vm", "unknown VM %q", f.VM)
+			}
+		case cluster.FailSwitchOutage, cluster.FailSwitchRestore:
+			switch {
+			case f.Switch == "":
+				return errf(name, path+".switch", "required for kind %q", f.Kind)
+			case f.Host != "" || f.VM != "":
+				return errf(name, path, "%q targets a switch only", f.Kind)
+			}
+			// Switch-domain existence (and window pairing) is checked by
+			// the compiled config below.
+		default:
+			return errf(name, path+".kind", "unknown failure kind %q", f.Kind)
+		}
+	}
+	if c.EvacuationDeadlineS < 0 {
+		return errf(name, "cluster.evacuation_deadline_s", "must be non-negative, got %v", c.EvacuationDeadlineS)
+	}
+	if c.EvacuationDeadlineS > 0 && len(c.Failures) == 0 {
+		return errf(name, "cluster.evacuation_deadline_s", "needs failures to score against")
 	}
 	// Belt and braces: the lowered cluster config must satisfy the
 	// engine's own validation too (switch topology, move targets, …).
