@@ -14,6 +14,10 @@
 //	wavm3bench -quick               # everything, reduced sweeps (tens of seconds)
 //	wavm3bench -only table7         # one artefact: fig2..fig7, table3..table7
 //	wavm3bench -benchjson perf.json # also write machine-readable timings
+//	wavm3bench -quick -timeout 5m   # bounded session
+//
+// Exit codes: 0 success, 1 failure, 2 usage, 3 -timeout expired before
+// the artefacts finished.
 package main
 
 import (
@@ -56,15 +60,19 @@ func main() {
 		}
 	}
 
+	ctx, cancel := common.Context()
+	defer cancel()
 	cache := common.Cache()
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
 	mcfg.Workers = common.Workers
 	mcfg.Cache = cache
+	mcfg.Ctx = ctx
 	ocfg := experiments.DefaultConfig(hw.PairO)
 	ocfg.Seed = *seed + 1000
 	ocfg.Workers = common.Workers
 	ocfg.Cache = cache
+	ocfg.Ctx = ctx
 	if *quick {
 		for _, c := range []*experiments.Config{&mcfg, &ocfg} {
 			c.MinRuns = 2
@@ -241,7 +249,12 @@ func writeTable(t *report.Table) {
 	fmt.Println()
 }
 
+// fatal reports err and exits: code 3 when -timeout expired, 1 for
+// every other failure.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wavm3bench:", err)
+	if cliflags.IsDeadline(err) {
+		os.Exit(cliflags.ExitDeadline)
+	}
 	os.Exit(1)
 }

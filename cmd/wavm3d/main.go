@@ -1,0 +1,91 @@
+// Command wavm3d serves the simulated testbed as a long-lived HTTP
+// daemon: POST a scenario spec (or name a library entry) and get back
+// exactly the bytes wavm3scen would print for it — the rendering code
+// is shared, so golden outputs hold over HTTP too.
+//
+// Endpoints:
+//
+//	POST /v1/runs           execute the scenario spec in the body
+//	POST /v1/runs?name=X    execute library scenario X (needs -dir)
+//	GET  /v1/scenarios      list the loaded library
+//	GET  /healthz           liveness (200 while the process is up)
+//	GET  /readyz            readiness (503 once draining begins)
+//
+// Robustness: admission is bounded (-max-concurrent running plus
+// -queue waiting; beyond that, 429 with Retry-After), each run is
+// bounded by -run-timeout and cancelled the moment its client
+// disconnects, and SIGTERM/SIGINT drain gracefully — stop admitting,
+// let in-flight runs finish up to -drain, cancel the stragglers, exit 0.
+//
+// Usage:
+//
+//	wavm3d -addr :8080 -dir scenarios/
+//	curl -s --data-binary @scenarios/c1-cpuload-live.json localhost:8080/v1/runs
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dir     = flag.String("dir", "", "scenario library to serve (enables /v1/scenarios and ?name= runs)")
+		maxConc = flag.Int("max-concurrent", 4, "runs executing at once")
+		queue   = flag.Int("queue", 8, "runs waiting for a slot; beyond max-concurrent+queue, 429")
+		runTO   = flag.Duration("run-timeout", 2*time.Minute, "per-run wall-clock bound (queue wait included)")
+		drain   = flag.Duration("drain", 30*time.Second, "SIGTERM grace: how long in-flight runs may finish before being cancelled")
+	)
+	common := cliflags.Register(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "wavm3d: unexpected argument %q (the daemon takes only flags)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "wavm3d: ", log.LstdFlags)
+	srv, err := service.New(service.Config{
+		Addr:           *addr,
+		ScenarioDir:    *dir,
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		RequestTimeout: *runTO,
+		Workers:        common.Workers,
+		Cache:          common.Cache(),
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// SIGTERM/SIGINT start the drain; a second signal during the drain
+	// is not special-cased — the drain deadline already bounds exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %v, draining (grace %v)", sig, *drain)
+		done <- srv.Shutdown(*drain)
+	}()
+
+	logger.Printf("serving on %s (library: %q, %d slots + %d queued)", *addr, *dir, *maxConc, *queue)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained, exiting")
+}

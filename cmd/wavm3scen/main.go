@@ -8,6 +8,11 @@
 // Output on stdout is deterministic: the same scenario files produce
 // bit-identical results across runs, worker counts and cache settings
 // (seeds live in the scenario specs; timing chatter goes to stderr).
+// The rendering is shared with the wavm3d daemon (internal/service), so
+// an HTTP run of the same scenario returns these exact bytes.
+//
+// Exit codes: 0 success, 1 failure, 2 usage, 3 -timeout expired before
+// the session finished.
 //
 // Usage:
 //
@@ -17,6 +22,7 @@
 //	wavm3scen -check -dir scenarios/      # load+validate+compile only (CI)
 //	wavm3scen -list -dir scenarios/       # print the library catalog
 //	wavm3scen -dir scenarios/ -benchjson perf.json    # timing metrics
+//	wavm3scen -timeout 90s -dir scenarios/            # bounded session
 package main
 
 import (
@@ -27,12 +33,9 @@ import (
 	"time"
 
 	"repro/internal/cliflags"
-	"repro/internal/cluster"
-	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/units"
+	"repro/internal/service"
 )
 
 func main() {
@@ -95,6 +98,8 @@ func main() {
 		return
 	}
 
+	ctx, cancel := common.Context()
+	defer cancel()
 	cache := common.Cache()
 	perf := common.NewBenchReport("wavm3scen")
 	started := time.Now()
@@ -102,27 +107,22 @@ func main() {
 	for i, c := range compiled {
 		t0 := time.Now()
 		hits0, misses0 := cache.Stats()
-		var rep *cluster.Report
-		switch {
-		case c.Cluster != nil:
-			rep = execCluster(specs[i], c.Cluster, common.Workers, cache)
-		case c.Plan != nil:
-			execPlan(specs[i], c.Plan, common.Workers, cache)
-		default:
-			execRuns(specs[i], c.Runs, common.Workers, cache)
+		res, err := service.Exec(ctx, os.Stdout, c, common.Workers, cache)
+		if err != nil {
+			fatal(err)
 		}
 		// Per-artefact cache effectiveness: this scenario's share of the
 		// session cache traffic (a nil cache reads as zero lookups).
 		hits1, misses1 := cache.Stats()
 		perf.AddWithCache(specs[i].Name, time.Since(t0), hits1-hits0, misses1-misses0)
 		// Chaos scenarios also record their SLO outcome in the artefact.
-		if rep != nil && len(c.Cluster.Config.Failures) > 0 {
+		if res.Cluster != nil && len(c.Cluster.Config.Failures) > 0 {
 			perf.AnnotateSLO(report.SLO{
-				AbortedFlights: rep.AbortedFlights,
-				OrphanedVMs:    rep.OrphanedVMs,
-				EvacuatedVMs:   rep.EvacuatedVMs,
-				DeadlineMet:    rep.EvacuationDeadlineMet,
-				FleetEnergyJ:   float64(rep.FleetEnergy),
+				AbortedFlights: res.Cluster.AbortedFlights,
+				OrphanedVMs:    res.Cluster.OrphanedVMs,
+				EvacuatedVMs:   res.Cluster.EvacuatedVMs,
+				DeadlineMet:    res.Cluster.EvacuationDeadlineMet,
+				FleetEnergyJ:   float64(res.Cluster.FleetEnergy),
 			})
 		}
 	}
@@ -173,109 +173,12 @@ func loadSpecs(dir string, args []string) []*scenario.Spec {
 	return specs
 }
 
-// execRuns executes the migration blocks of one spec and prints one
-// result line per block.
-func execRuns(s *scenario.Spec, runs []scenario.Run, workers int, cache *sim.Cache) {
-	fmt.Printf("== %s\n", s.Name)
-	scs := make([]sim.Scenario, len(runs))
-	for i, r := range runs {
-		scs[i] = r.Scenario
-	}
-	cfg := experiments.Config{
-		Pair:        runs[0].Scenario.Pair,
-		MinRuns:     runs[0].MinRuns,
-		VarianceTol: runs[0].VarianceTol,
-		Workers:     workers,
-		Cache:       cache,
-		Seed:        1, // unused: every compiled scenario carries its own seed
-	}
-	results, err := experiments.RunScenarios(cfg, scs...)
-	if err != nil {
-		fatal(err)
-	}
-	for i, res := range results {
-		printRunLine(runs[i].Label, res.Runs)
-	}
-}
-
-// printRunLine renders the mean measurements of one block's repeats —
-// the same BlockSummary the golden-output regression test pins.
-func printRunLine(label string, runs []*sim.RunResult) {
-	b := scenario.Summarize(runs)
-	fmt.Printf("   %-32s runs=%d  src %8.3f kJ  dst %8.3f kJ  total %8.3f kJ  moved %6.2f GiB  rounds %4.1f  down %6.2fs  dur %6.1fs\n",
-		label, b.Runs, b.SourceJ/1e3, b.TargetJ/1e3, b.TotalJ()/1e3, b.MovedGiB(), b.Rounds, b.DowntimeS, b.DurationS)
-}
-
-// execPlan executes a data-centre scenario's move plan.
-func execPlan(s *scenario.Spec, pr *scenario.PlanRun, workers int, cache *sim.Cache) {
-	fmt.Printf("== %s (plan: %s)\n", s.Name, pr.Policy)
-	ex := pr.Executor
-	ex.Workers = workers
-	ex.Cache = cache
-	rep, err := ex.ExecutePlan(pr.Policy, pr.Plan, pr.Hosts)
-	if err != nil {
-		fatal(err)
-	}
-	for _, mv := range rep.Moves {
-		fmt.Printf("   move %-14s %-12s -> %-12s  %8.3f kJ  %6.1fs  %6.2f GiB\n",
-			mv.Move.VM, mv.Move.From, mv.Move.To,
-			mv.MeasuredEnergy.KiloJoules(), mv.Duration.Seconds(), float64(mv.BytesSent)/float64(units.GiB))
-	}
-	fmt.Printf("   total %d move(s)  %8.3f kJ  %6.1fs\n",
-		len(rep.Moves), rep.Total.KiloJoules(), rep.Elapsed.Seconds())
-}
-
-// execCluster executes an N-host cluster timeline: ticks, phase shifts,
-// migrations — and, under failure injection, aborts and the SLO scores —
-// are printed as deterministic sections, every energy
-// contention-adjusted. The report is returned so the caller can record
-// the SLO outcome in benchmark artefacts.
-func execCluster(s *scenario.Spec, cr *scenario.ClusterRun, workers int, cache *sim.Cache) *cluster.Report {
-	fmt.Printf("== %s (cluster: %d hosts, %s)\n", s.Name, len(cr.Config.Hosts), cr.Policy)
-	rep, err := experiments.RunCluster(experiments.Config{Workers: workers, Cache: cache}, cr.Config)
-	if err != nil {
-		fatal(err)
-	}
-	for _, tick := range rep.Ticks {
-		fmt.Printf("   tick  t=%9.1fs  planned %2d move(s)  %d pinned\n",
-			tick.At.Seconds(), tick.Moves, tick.Pinned)
-	}
-	for _, sh := range rep.Shifts {
-		next := sh.Phase
-		if next == "" {
-			next = "(hold)"
-		}
-		fmt.Printf("   shift t=%9.1fs  %s enters %s\n", sh.At.Seconds(), sh.VM, next)
-	}
-	for _, mv := range rep.Timeline {
-		fmt.Printf("   move  %-12s %-10s -> %-10s [%-9s] t=%9.1fs ..%9.1fs  x%4.2f  %9.3f kJ  %6.2f GiB\n",
-			mv.VM, mv.From, mv.To, mv.Pair,
-			mv.Start.Seconds(), mv.End.Seconds(), mv.Stretch,
-			mv.Energy.KiloJoules(), float64(mv.BytesSent)/float64(units.GiB))
-	}
-	for _, a := range rep.Aborted {
-		fmt.Printf("   abort %-12s %-10s -> %-10s [%-8s] t=%9.1fs ..%9.1fs  %9.3f kJ charged  (%s)\n",
-			a.VM, a.From, a.To, a.Phase,
-			a.Start.Seconds(), a.End.Seconds(), a.Energy.KiloJoules(), a.Reason)
-	}
-	if len(rep.FreedHosts) > 0 {
-		fmt.Printf("   freed %s  (%.0f W idle reclaimed)\n",
-			strings.Join(rep.FreedHosts, ", "), float64(rep.IdleSavings))
-	}
-	if len(cr.Config.Failures) > 0 {
-		deadline := "met"
-		if !rep.EvacuationDeadlineMet {
-			deadline = "MISSED"
-		}
-		fmt.Printf("   slo   %d aborted  %d orphaned  %d evacuated  deadline %s  fleet %9.3f kJ\n",
-			rep.AbortedFlights, rep.OrphanedVMs, rep.EvacuatedVMs, deadline, rep.FleetEnergy.KiloJoules())
-	}
-	fmt.Printf("   total %d move(s)  %9.3f kJ  makespan %9.1fs\n",
-		len(rep.Timeline), rep.TotalEnergy.KiloJoules(), rep.Makespan.Seconds())
-	return rep
-}
-
+// fatal reports err and exits: code 3 when -timeout expired, 1 for
+// every other failure.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wavm3scen:", err)
+	if cliflags.IsDeadline(err) {
+		os.Exit(cliflags.ExitDeadline)
+	}
 	os.Exit(1)
 }

@@ -1,11 +1,14 @@
 // Package cliflags wires the simulation-driving flags every command
-// shares — -workers, -nocache and -benchjson — so the binaries stay in
-// flag parity by construction instead of by copy-paste. A command
+// shares — -workers, -nocache, -benchjson and -timeout — so the binaries
+// stay in flag parity by construction instead of by copy-paste. A command
 // registers the common set next to its own flags, builds the session
-// cache from it, and finishes its benchmark report through it.
+// cache and execution context from it, and finishes its benchmark report
+// through it.
 package cliflags
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +17,12 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 )
+
+// ExitDeadline is the documented exit code a command returns when its
+// -timeout expires before the session finishes: distinct from 1 (any
+// other failure) and 2 (usage errors), so scripts and CI gates can tell
+// "too slow" from "wrong".
+const ExitDeadline = 3
 
 // Common is the shared flag set of the simulation commands.
 type Common struct {
@@ -26,6 +35,10 @@ type Common struct {
 	// BenchJSON, when non-empty, is where the machine-readable timing
 	// and cache metrics go.
 	BenchJSON string
+	// Timeout bounds the session's wall clock; 0 means unbounded. On
+	// expiry the compute core abandons in-flight work at its next
+	// cancellation boundary and the command exits with ExitDeadline.
+	Timeout time.Duration
 }
 
 // Register binds the common flags on the given FlagSet (the default
@@ -35,7 +48,24 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Workers, "workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
 	fs.BoolVar(&c.NoCache, "nocache", false, "disable the run cache (results identical, only slower)")
 	fs.StringVar(&c.BenchJSON, "benchjson", "", "write machine-readable timing and cache metrics to this path")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the session after this wall-clock span (e.g. 90s, 5m; 0 = unbounded; exit code 3 on expiry)")
 	return c
+}
+
+// Context builds the session's execution context from -timeout: the
+// background context when unbounded, a deadline-bearing one otherwise.
+// The caller owns the cancel function.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), c.Timeout)
+}
+
+// IsDeadline reports whether err is (or wraps) the -timeout expiry, and
+// therefore whether the command should exit with ExitDeadline.
+func IsDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
 }
 
 // Cache builds the session run cache: nil when -nocache was given,

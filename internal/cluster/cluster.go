@@ -37,6 +37,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -255,6 +256,13 @@ type Config struct {
 	Workers int
 	// Cache optionally memoizes migration simulations (see sim.NewCache).
 	Cache *sim.Cache
+	// Ctx optionally bounds the timeline's execution: the event loop
+	// checks it between events and the kernel fan-out at every dispatch,
+	// so a cancelled or deadline-expired context abandons the run with
+	// the context's error instead of completing it. nil means
+	// context.Background(). Cancellation never changes results — a
+	// timeline that completes under any context is bit-identical.
+	Ctx context.Context
 
 	// referenceScan selects the retained linear-scan scheduler (O(F²)
 	// per event) instead of the heap scheduler. Test-only: the

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -142,6 +143,8 @@ type indexedRec struct {
 
 type engine struct {
 	cfg     Config
+	ctx     context.Context
+	done    <-chan struct{} // ctx.Done(), captured once; nil when uncancellable
 	hosts   []*hostRT
 	byName  map[string]*hostRT
 	vms     map[string]*vmRT
@@ -200,8 +203,14 @@ func newEngine(cfg Config) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := &engine{
 		cfg:      cfg,
+		ctx:      ctx,
+		done:     ctx.Done(),
 		byName:   make(map[string]*hostRT, len(hosts)),
 		vms:      make(map[string]*vmRT),
 		rep:      &Report{},
@@ -273,6 +282,15 @@ func (e *engine) run() (*Report, error) {
 		fire = e.fireScan
 	}
 	for {
+		// Cancellation boundary: one non-blocking poll per event (the
+		// checks vanish for background contexts, whose Done is nil).
+		if e.done != nil {
+			select {
+			case <-e.done:
+				return nil, e.ctx.Err()
+			default:
+			}
+		}
 		t, ok := next()
 		if !ok {
 			break
@@ -645,13 +663,17 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 
 // simulate answers a batch of lowered scenarios through the cache in
 // parallel, wrapping any failure with the identity of its move (idx
-// maps a batch position to the move's dispatch index).
+// maps a batch position to the move's dispatch index). The engine's
+// context bounds the whole fan-out: once it is done, no further kernel
+// run dispatches and running ones abandon at their next step.
 func (e *engine) simulate(scs []sim.Scenario, idx func(i int) int) ([]*sim.RunResult, error) {
-	run := e.cfg.Cache.Run
+	run := func(sc sim.Scenario) (*sim.RunResult, error) {
+		return e.cfg.Cache.RunCtx(e.ctx, sc)
+	}
 	if e.cfg.simOverride != nil {
 		run = e.cfg.simOverride
 	}
-	return parallel.Map(e.cfg.Workers, len(scs), func(i int) (*sim.RunResult, error) {
+	return parallel.MapCtx(e.ctx, e.cfg.Workers, len(scs), func(i int) (*sim.RunResult, error) {
 		res, err := run(scs[i])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: executing move %d (%s): %w", idx(i), scs[i].Name, err)

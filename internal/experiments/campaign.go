@@ -39,14 +39,14 @@ func RunFamily(cfg Config, f Family) ([]*PointResult, error) {
 		return nil, err
 	}
 	pointWorkers, runWorkers := parallel.Split(cfg.Workers, len(pts))
-	return parallel.Map(pointWorkers, len(pts), func(i int) (*PointResult, error) {
+	return parallel.MapCtx(cfg.context(), pointWorkers, len(pts), func(i int) (*PointResult, error) {
 		p := pts[i]
 		sc, err := p.Scenario(cfg.Pair, cfg.Seed+int64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
 		sc = shrinkTimings(sc)
-		runs, err := cfg.Cache.RunRepeatedWorkers(sc, cfg.MinRuns, cfg.VarianceTol, runWorkers)
+		runs, err := cfg.Cache.RunRepeatedCtx(cfg.context(), sc, cfg.MinRuns, cfg.VarianceTol, runWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s point %s: %w", f, p.Label(), err)
 		}

@@ -14,5 +14,6 @@ func RunCluster(cfg Config, cc cluster.Config) (*cluster.Report, error) {
 	cfg = cfg.withDefaults()
 	cc.Workers = cfg.Workers
 	cc.Cache = cfg.Cache
+	cc.Ctx = cfg.context()
 	return cluster.Run(cc)
 }

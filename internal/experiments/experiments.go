@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,6 +164,20 @@ type Config struct {
 	// compiled from the internal/scenario library) for RunScenarios to
 	// execute under this config's repeat/worker/cache policy.
 	Scenarios []sim.Scenario
+	// Ctx optionally bounds every campaign run under this config: a done
+	// context stops dispatching new points/runs and abandons in-flight
+	// kernel steps, surfacing the context's error. nil means
+	// context.Background(). Cancellation never changes results — any
+	// campaign that completes is bit-identical.
+	Ctx context.Context
+}
+
+// context returns the effective execution context.
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // DefaultConfig is the paper-faithful campaign configuration.

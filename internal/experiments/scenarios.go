@@ -31,12 +31,12 @@ func RunScenarios(cfg Config, scs ...sim.Scenario) ([]*ScenarioResult, error) {
 		return nil, fmt.Errorf("experiments: no scenarios to run")
 	}
 	outer, inner := parallel.Split(cfg.Workers, len(scs))
-	return parallel.Map(outer, len(scs), func(i int) (*ScenarioResult, error) {
+	return parallel.MapCtx(cfg.context(), outer, len(scs), func(i int) (*ScenarioResult, error) {
 		sc := scs[i]
 		if sc.Seed == 0 {
 			sc.Seed = cfg.Seed + int64(i)*7919
 		}
-		runs, err := cfg.Cache.RunRepeatedWorkers(sc, cfg.MinRuns, cfg.VarianceTol, inner)
+		runs, err := cfg.Cache.RunRepeatedCtx(cfg.context(), sc, cfg.MinRuns, cfg.VarianceTol, inner)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario %s: %w", sc.Name, err)
 		}

@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -107,9 +108,25 @@ func (p *Pool) Wait() error {
 // lowest-indexed error, mirroring what a sequential loop would have hit
 // first; items not yet dispatched when an earlier item fails are skipped.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with a cancellation boundary at every dispatch: once ctx
+// is done, no further item starts, already-running items are waited for
+// (they observe ctx themselves through their closure), and ctx's error is
+// returned unless an already-dispatched item failed with a lower index —
+// the same precedence a sequential loop hitting the cancelled item in
+// place would have reported. Results are bit-identical to Map whenever
+// ctx never fires.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	p := NewPool(workers)
+	cancelled := -1 // index of the first item never dispatched
 	for i := 0; i < n && !p.Failed(); i++ {
+		if ctx.Err() != nil {
+			cancelled = i
+			break
+		}
 		i := i
 		p.Go(i, func() error {
 			v, err := fn(i)
@@ -120,7 +137,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			return nil
 		})
 	}
-	if err := p.Wait(); err != nil {
+	err := p.Wait()
+	if cancelled >= 0 && (err == nil || p.errIdx > cancelled) {
+		// The cancellation point outranks any later item's failure.
+		err = ctx.Err()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -153,9 +175,21 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // never influence the returned prefix, only how much speculative work can
 // be discarded.
 func Until[T any](workers, max, hint int, fn func(i int) (T, error), stop func(prefix []T) bool) ([]T, error) {
+	return UntilCtx(context.Background(), workers, max, hint, fn, stop)
+}
+
+// UntilCtx is Until with a cancellation boundary between speculative
+// batches: a done ctx stops the loop before the next batch dispatches and
+// returns ctx's error. Items inside a batch observe ctx through their own
+// closures; the replay-in-order semantics are unchanged, so any prefix
+// returned before cancellation is bit-identical to Until's.
+func UntilCtx[T any](ctx context.Context, workers, max, hint int, fn func(i int) (T, error), stop func(prefix []T) bool) ([]T, error) {
 	w := Workers(workers)
 	var out []T
 	for len(out) < max {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch := w
 		if len(out) == 0 {
 			if hint > 0 && hint < batch {

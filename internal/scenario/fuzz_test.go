@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecDecode hammers the strict decoder with arbitrary bytes. The
+// contract under test is Parse's: every input either yields a validated
+// spec or a *Error carrying a field path — never a panic, never a bare
+// error a client could not route to the offending field. Seeds are the
+// committed scenario library (the valid corpus) plus crafted
+// near-misses for each rejection class.
+func FuzzSpecDecode(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("seeding from scenarios/: %v (%d files)", err, len(files))
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, near := range []string{
+		``,                                 // empty input
+		`{`,                                // truncated JSON
+		`null`,                             // decodes to the zero Spec
+		`[]`,                               // wrong top-level type
+		`{"name":"x","no_such_field":1}`,   // unknown field
+		`{"name":"x"} trailing`,            // trailing garbage
+		`{"version":999,"name":"x"}`,       // future version
+		`{"name":"x","seed":-1}`,           // invalid value
+		`{"name":"x","phases":[{"at":2}]}`, // nested path error
+		"{\"name\":\"\xff\xfe\"}",          // invalid UTF-8 in a string
+	} {
+		f.Add([]byte(near))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse("fuzz", data)
+		if err == nil {
+			if s == nil {
+				t.Fatal("nil spec with nil error")
+			}
+			return
+		}
+		var serr *Error
+		if !errors.As(err, &serr) {
+			t.Fatalf("error is not a *scenario.Error: %T: %v", err, err)
+		}
+		if serr.Path == "" {
+			t.Fatalf("error without a field path: %v", err)
+		}
+	})
+}

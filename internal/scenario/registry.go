@@ -18,6 +18,16 @@ func Load(path string) (*Spec, error) {
 	if err != nil {
 		return nil, &Error{Scenario: path, Path: "(file)", Msg: err.Error()}
 	}
+	return Parse(path, data)
+}
+
+// Parse strictly decodes and validates one scenario from raw bytes —
+// the decode path Load shares with callers that hold scenario JSON but
+// no file (the wavm3d request body, the fuzz target). The name labels
+// errors; it is usually a path but any request identifier works. Every
+// failure, for any input, is a *Error value with a field path — Parse
+// never panics on malformed bytes.
+func Parse(name string, data []byte) (*Spec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var s Spec
@@ -29,12 +39,12 @@ func Load(path string) (*Spec, error) {
 		if syn, ok := err.(*json.SyntaxError); ok {
 			offset = syn.Offset
 		}
-		return nil, &Error{Scenario: path, Path: "(json)",
+		return nil, &Error{Scenario: name, Path: "(json)",
 			Msg: fmt.Sprintf("malformed JSON near byte %d: %v", offset, err)}
 	}
 	// Reject trailing garbage after the top-level value.
 	if dec.More() {
-		return nil, &Error{Scenario: path, Path: "(json)", Msg: "trailing data after the scenario object"}
+		return nil, &Error{Scenario: name, Path: "(json)", Msg: "trailing data after the scenario object"}
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"errors"
+)
+
+// errSaturated is the admission verdict behind every 429: both the
+// execution slots and the waiting queue are full, so the only honest
+// answer is "come back later" — queueing further would just convert
+// overload into unbounded latency.
+var errSaturated = errors.New("service: admission queue full")
+
+// admission bounds the daemon's concurrent simulation work: at most
+// `slots` runs execute at once and at most `queue` requests wait for a
+// slot. Anything beyond that total is rejected immediately. Both bounds
+// are channels used as counting semaphores, so waiting is cancellable
+// by the request context (client disconnect, per-request deadline,
+// drain) without leaking tickets.
+type admission struct {
+	slots   chan struct{} // execution permits
+	tickets chan struct{} // execution + queue permits
+}
+
+func newAdmission(slots, queue int) *admission {
+	return &admission{
+		slots:   make(chan struct{}, slots),
+		tickets: make(chan struct{}, slots+queue),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns a release function on success,
+// errSaturated when the queue itself is full, or the context error when
+// ctx ends first. The release function must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// The ticket is the queue bound: grab it or reject, never wait.
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	// The slot is the concurrency bound: wait, but give the ticket back
+	// if the request dies first so the queue spot frees immediately.
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; <-a.tickets }, nil
+	case <-ctx.Done():
+		<-a.tickets
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response. Nobody receives it, but access logs should not claim a
+// disconnect was a server error.
+const statusClientClosedRequest = 499
+
+// Handler builds the daemon's route table wrapped in the panic-recovery
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	return recoverPanics(s.cfg.Logger, mux)
+}
+
+// handleHealthz reports liveness: the process is up, even while
+// draining (a draining daemon is healthy, just not ready).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness: 200 while admitting, 503 once drain
+// begins — the signal load balancers use to stop routing before the
+// listener actually closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// scenarioEntry is one GET /v1/scenarios listing row.
+type scenarioEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Form        string `json:"form"`
+	Hosts       int    `json:"hosts,omitempty"`
+	Phases      int    `json:"phases,omitempty"`
+}
+
+// handleScenarios lists the loaded library in name order.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	out := make([]scenarioEntry, 0, len(s.library))
+	for _, in := range s.library {
+		e := scenarioEntry{Name: in.Name, Description: in.Description, Form: "migration",
+			Hosts: in.Cluster, Phases: in.Phases}
+		switch {
+		case in.Datacenter:
+			e.Form = "datacenter"
+		case in.Cluster > 0:
+			e.Form = "cluster"
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Scenarios []scenarioEntry `json:"scenarios"`
+	}{out})
+}
+
+// handleRuns executes one scenario — the request body as a strict spec,
+// or a library entry via ?name= with an empty body — and answers with
+// the exact bytes wavm3scen would print for it. The run is admitted
+// through the bounded queue and executes under a context that ends on
+// client disconnect, per-request deadline or daemon drain, whichever
+// comes first.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, apiError{
+			Code: codeDraining, Message: "daemon is draining; not admitting new runs",
+		})
+		return
+	}
+	spec, ok := s.decodeRunRequest(w, r)
+	if !ok {
+		return
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, scenarioAPIError(err))
+		return
+	}
+
+	// The run context: request (disconnect) + deadline + drain. The
+	// deadline covers queue wait too — time spent waiting for a slot is
+	// latency the client experiences.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stop := context.AfterFunc(s.runsCtx, func() { cancel(errDraining) })
+	defer stop()
+	runCtx, cancelT := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancelT()
+
+	release, err := s.adm.acquire(runCtx)
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RequestTimeout)))
+			writeError(w, http.StatusTooManyRequests, apiError{
+				Code: codeOverloaded,
+				Message: fmt.Sprintf("admission queue full (%d running + %d queued); retry later",
+					s.cfg.MaxConcurrent, s.cfg.QueueDepth),
+			})
+			return
+		}
+		s.writeRunFailure(w, runCtx, spec.Name, err)
+		return
+	}
+	defer release()
+
+	// Buffer the rendering so failures yield a clean JSON error, never
+	// a half-written report.
+	var buf bytes.Buffer
+	if _, err := s.exec(runCtx, &buf, compiled); err != nil {
+		s.writeRunFailure(w, runCtx, spec.Name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// decodeRunRequest resolves the request to a validated spec: a strict
+// JSON body, or a library lookup when ?name= is given with no body. On
+// failure it writes the error response and returns ok=false.
+func (s *Server) decodeRunRequest(w http.ResponseWriter, r *http.Request) (*scenario.Spec, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		status, code := http.StatusBadRequest, codeInvalidRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, apiError{Code: code, Message: fmt.Sprintf("reading request body: %v", err)})
+		return nil, false
+	}
+	if name := r.URL.Query().Get("name"); name != "" {
+		if len(body) > 0 {
+			writeError(w, http.StatusBadRequest, apiError{
+				Code: codeInvalidRequest, Message: "pass either ?name= or a spec body, not both",
+			})
+			return nil, false
+		}
+		spec, ok := s.byName[name]
+		if !ok {
+			writeError(w, http.StatusNotFound, apiError{
+				Code: codeNotFound, Message: fmt.Sprintf("no library scenario named %q", name), Scenario: name,
+			})
+			return nil, false
+		}
+		return spec, true
+	}
+	if len(body) == 0 {
+		writeError(w, http.StatusBadRequest, apiError{
+			Code: codeInvalidRequest, Message: "empty body; POST a scenario spec or pass ?name=",
+		})
+		return nil, false
+	}
+	spec, err := scenario.Parse("(request)", body)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, scenarioAPIError(err))
+		return nil, false
+	}
+	return spec, true
+}
+
+// scenarioAPIError maps a scenario load/validate failure onto the JSON
+// envelope, carrying the field path when the error is a *scenario.Error.
+func scenarioAPIError(err error) apiError {
+	e := apiError{Code: codeInvalidScenario, Message: err.Error()}
+	var serr *scenario.Error
+	if errors.As(err, &serr) {
+		e.Scenario, e.Path = serr.Scenario, serr.Path
+	}
+	return e
+}
+
+// writeRunFailure classifies a run error into the status the client can
+// act on: its own deadline (504), its own disconnect (499, unseen),
+// the daemon draining mid-run (503), or a genuine failure (500).
+func (s *Server) writeRunFailure(w http.ResponseWriter, runCtx context.Context, name string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, apiError{
+			Code: codeDeadline, Message: fmt.Sprintf("run exceeded the request timeout (%v)", s.cfg.RequestTimeout), Scenario: name,
+		})
+	case errors.Is(context.Cause(runCtx), errDraining):
+		writeError(w, http.StatusServiceUnavailable, apiError{
+			Code: codeDraining, Message: "run cancelled: daemon drain deadline expired", Scenario: name,
+		})
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, apiError{
+			Code: codeInvalidRequest, Message: "client closed the request", Scenario: name,
+		})
+	default:
+		s.cfg.Logger.Printf("service: run %s failed: %v", name, err)
+		writeError(w, http.StatusInternalServerError, apiError{
+			Code: codeInternal, Message: fmt.Sprintf("run failed: %v", err), Scenario: name,
+		})
+	}
+}
+
+// retryAfterSeconds estimates a polite retry interval from the request
+// timeout: a quarter of it, at least one second — long enough for a
+// slot to plausibly free, short enough to keep clients responsive.
+func retryAfterSeconds(timeout time.Duration) int {
+	sec := int(timeout.Seconds() / 4)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}

@@ -1,0 +1,569 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+const scenarioDir = "../../scenarios"
+
+// minimalSpec is a valid spec body cheap enough that request-handling
+// tests never wait on simulation physics (the blocking tests replace
+// execution with an override anyway).
+const minimalSpec = `{"version":1,"name":"svc-test","pair":"m01-m02","kind":"non-live",
+	"migrating":{"workload":{"profile":"idle"}}}`
+
+// newTestServer starts a Server on a loopback listener and returns its
+// base URL. Shutdown and Serve-error checking happen in cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := s.Shutdown(10 * time.Second); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s, "http://" + ln.Addr().String()
+}
+
+// postRun POSTs a run request and returns status, body and headers.
+func postRun(t *testing.T, url, body string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// errCode extracts the stable error code from a JSON error envelope.
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("response is not the JSON error envelope: %v\n%s", err, body)
+	}
+	return env.Error.Code
+}
+
+// expectExec renders the scenario through the shared executor — the
+// bytes a daemon response must match exactly.
+func expectExec(t *testing.T, spec *scenario.Spec) []byte {
+	t.Helper()
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Exec(context.Background(), &buf, c, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHealthAndReady(t *testing.T) {
+	_, url := newTestServer(t, Config{})
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(url + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+}
+
+func TestScenarioListing(t *testing.T) {
+	_, url := newTestServer(t, Config{ScenarioDir: scenarioDir})
+	resp, err := http.Get(url + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Scenarios []scenarioEntry `json:"scenarios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scenarios) == 0 {
+		t.Fatal("empty scenario listing")
+	}
+	byName := map[string]scenarioEntry{}
+	for _, e := range out.Scenarios {
+		byName[e.Name] = e
+	}
+	if e, ok := byName["drain-1024-rolling"]; !ok || e.Form != "cluster" || e.Hosts != 1024 {
+		t.Errorf("drain-1024-rolling listed as %+v", e)
+	}
+}
+
+// TestRunSpecBodyMatchesCLI: a POSTed spec answers with exactly the
+// bytes wavm3scen prints for the same scenario.
+func TestRunSpecBodyMatchesCLI(t *testing.T) {
+	_, url := newTestServer(t, Config{Cache: sim.NewCache(0)})
+	body, err := os.ReadFile(filepath.Join(scenarioDir, "nonlive-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, got, hdr := postRun(t, url+"/v1/runs", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d\n%s", status, got)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	spec, err := scenario.Load(filepath.Join(scenarioDir, "nonlive-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expectExec(t, spec); !bytes.Equal(got, want) {
+		t.Errorf("response differs from the CLI rendering:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestRunByNameMatchesCLI: library runs via ?name= return the same
+// bytes, and repeat requests (cache hits) stay bit-identical.
+func TestRunByNameMatchesCLI(t *testing.T) {
+	_, url := newTestServer(t, Config{ScenarioDir: scenarioDir, Cache: sim.NewCache(0)})
+	spec, err := scenario.Load(filepath.Join(scenarioDir, "meter-1hz.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectExec(t, spec)
+	for i := 0; i < 2; i++ { // second round is served from the run cache
+		status, got, _ := postRun(t, url+"/v1/runs?name=meter-1hz", "")
+		if status != http.StatusOK {
+			t.Fatalf("round %d: status = %d\n%s", i, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("round %d: response differs from the CLI rendering", i)
+		}
+	}
+}
+
+func TestRunRequestRejections(t *testing.T) {
+	_, url := newTestServer(t, Config{ScenarioDir: scenarioDir})
+	cases := []struct {
+		name, path, body string
+		status           int
+		code             string
+	}{
+		{"empty body", "/v1/runs", "", http.StatusBadRequest, codeInvalidRequest},
+		{"malformed json", "/v1/runs", "{", http.StatusUnprocessableEntity, codeInvalidScenario},
+		{"unknown field", "/v1/runs", `{"name":"x","bogus":1}`, http.StatusUnprocessableEntity, codeInvalidScenario},
+		{"invalid spec", "/v1/runs", `{"version":1,"name":"x","seed":-4}`, http.StatusUnprocessableEntity, codeInvalidScenario},
+		{"unknown library name", "/v1/runs?name=no-such", "", http.StatusNotFound, codeNotFound},
+		{"name plus body", "/v1/runs?name=meter-1hz", minimalSpec, http.StatusBadRequest, codeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := postRun(t, url+tc.path, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d, want %d\n%s", status, tc.status, body)
+			}
+			if code := errCode(t, body); code != tc.code {
+				t.Errorf("code = %q, want %q", code, tc.code)
+			}
+		})
+	}
+}
+
+// blockingExec is an exec override whose runs park until released (or
+// until their context ends), so admission and drain states can be
+// driven deterministically.
+type blockingExec struct {
+	started chan struct{} // one receive per run that began executing
+	release chan struct{} // close to let parked runs finish
+}
+
+func newBlockingExec() *blockingExec {
+	return &blockingExec{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (b *blockingExec) exec(ctx context.Context, w io.Writer, c *scenario.Compiled, workers int, cache *sim.Cache) (*ExecResult, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		fmt.Fprintf(w, "== %s\nblocked-exec done\n", c.Spec.Name)
+		return &ExecResult{}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// waitStarted waits for n runs to reach execution.
+func (b *blockingExec) waitStarted(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-b.started:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d runs started", i, n)
+		}
+	}
+}
+
+// TestAdmissionOverflow is the N+K acceptance criterion: with admission
+// bounded at 2 running + 1 queued, six concurrent requests yield exactly
+// three successes and three clean 429s carrying Retry-After — and no
+// goroutines leak once the dust settles.
+func TestAdmissionOverflow(t *testing.T) {
+	before := runtime.NumGoroutine()
+	be := newBlockingExec()
+	_, url := newTestServer(t, Config{
+		MaxConcurrent: 2, QueueDepth: 1, execOverride: be.exec,
+	})
+
+	const total = 6
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan outcome, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, hdr := postRun(t, url+"/v1/runs", minimalSpec)
+			results <- outcome{status, hdr.Get("Retry-After")}
+		}()
+	}
+	// Two runs occupy the slots; rejections stream back while the third
+	// ticket holder waits in the queue. Then open the gate.
+	be.waitStarted(t, 2)
+	deadline := time.After(10 * time.Second)
+	got := map[int]int{}
+	var outcomes []outcome
+	for len(outcomes) < 3 {
+		select {
+		case o := <-results:
+			outcomes = append(outcomes, o)
+			got[o.status]++
+		case <-deadline:
+			t.Fatalf("only %d rejections arrived while slots were blocked", len(outcomes))
+		}
+	}
+	if got[http.StatusTooManyRequests] != 3 {
+		t.Fatalf("while saturated, outcomes = %v, want three 429s", got)
+	}
+	for _, o := range outcomes {
+		if o.retryAfter == "" {
+			t.Error("429 without a Retry-After header")
+		}
+	}
+	close(be.release)
+	wg.Wait()
+	close(results)
+	for o := range results {
+		got[o.status]++
+	}
+	if got[http.StatusOK] != 3 || got[http.StatusTooManyRequests] != 3 {
+		t.Fatalf("outcomes = %v, want exactly 3×200 and 3×429", got)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestClientDisconnectFreesSlot: a client abandoning its request
+// cancels the run and releases the admission slot for the next client.
+func TestClientDisconnectFreesSlot(t *testing.T) {
+	before := runtime.NumGoroutine()
+	be := newBlockingExec()
+	_, url := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 0, execOverride: be.exec})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/runs", strings.NewReader(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandoned := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		abandoned <- err
+	}()
+	be.waitStarted(t, 1)
+	cancel() // client walks away mid-run
+	if err := <-abandoned; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned request err = %v, want context.Canceled", err)
+	}
+
+	// The slot must free without the blocked run ever being released:
+	// its context died with the client. The next run then gets the slot.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		status, body, _ := postRun(t, url+"/v1/runs", minimalSpec)
+		if status != http.StatusOK {
+			t.Errorf("follow-up status = %d\n%s", status, body)
+		}
+	}()
+	be.waitStarted(t, 1)
+	close(be.release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slot was never released after the client disconnect")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestDrainRefusesNewWork: once Shutdown begins, readyz answers 503 and
+// new runs are refused with the draining code.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, err := New(Config{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No listener is serving, so Shutdown completes immediately but
+	// leaves the server in the draining state.
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for _, tc := range []struct {
+		method, path string
+		status       int
+	}{
+		{"GET", "/healthz", http.StatusOK}, // draining is still alive
+		{"GET", "/readyz", http.StatusServiceUnavailable},
+		{"POST", "/v1/runs", http.StatusServiceUnavailable},
+	} {
+		req, err := http.NewRequest(tc.method, "http://drain.test"+tc.path, strings.NewReader(minimalSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, rec.Code, tc.status)
+		}
+	}
+}
+
+// TestGracefulDrainCompletesInFlight: SIGTERM semantics — in-flight
+// runs finish inside the drain window and their clients get full 200
+// responses; Shutdown returns nil.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	be := newBlockingExec()
+	cfg := Config{MaxConcurrent: 2, execOverride: be.exec, Logger: log.New(io.Discard, "", 0)}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	resps := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			status, _, _ := postRun(t, url+"/v1/runs", minimalSpec)
+			resps <- status
+		}()
+	}
+	be.waitStarted(t, 2)
+
+	shut := make(chan error, 1)
+	go func() { shut <- s.Shutdown(30 * time.Second) }()
+	// Give the drain a moment to begin, then let the runs finish.
+	time.Sleep(50 * time.Millisecond)
+	close(be.release)
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if status := <-resps; status != http.StatusOK {
+			t.Errorf("in-flight run answered %d during graceful drain", status)
+		}
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a run that outlives the drain
+// window is cancelled (not abandoned) and its client told the daemon
+// was draining; Shutdown still returns nil — the clean-exit contract.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	be := newBlockingExec() // never released: the run is a straggler
+	cfg := Config{MaxConcurrent: 1, execOverride: be.exec, Logger: log.New(io.Discard, "", 0)}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	type resp struct {
+		status int
+		body   []byte
+	}
+	rc := make(chan resp, 1)
+	go func() {
+		status, body, _ := postRun(t, url+"/v1/runs", minimalSpec)
+		rc <- resp{status, body}
+	}()
+	be.waitStarted(t, 1)
+
+	if err := s.Shutdown(100 * time.Millisecond); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got := <-rc
+	if got.status != http.StatusServiceUnavailable {
+		t.Fatalf("straggler answered %d, want 503\n%s", got.status, got.body)
+	}
+	if code := errCode(t, got.body); code != codeDraining {
+		t.Errorf("straggler code = %q, want %q", code, codeDraining)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+// TestPanicRecovery: a panicking run becomes a structured 500 and the
+// daemon keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	var calls atomic.Int32
+	_, url := newTestServer(t, Config{
+		execOverride: func(ctx context.Context, w io.Writer, c *scenario.Compiled, workers int, cache *sim.Cache) (*ExecResult, error) {
+			if calls.Add(1) == 1 {
+				panic("kaboom")
+			}
+			fmt.Fprintln(w, "fine")
+			return &ExecResult{}, nil
+		},
+	})
+	status, body, _ := postRun(t, url+"/v1/runs", minimalSpec)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500\n%s", status, body)
+	}
+	if code := errCode(t, body); code != codeInternal {
+		t.Errorf("code = %q, want %q", code, codeInternal)
+	}
+	if !strings.Contains(string(body), "kaboom") {
+		t.Errorf("panic message lost: %s", body)
+	}
+	status, body, _ = postRun(t, url+"/v1/runs", minimalSpec)
+	if status != http.StatusOK {
+		t.Errorf("daemon did not survive the panic: %d\n%s", status, body)
+	}
+}
+
+// TestConcurrentChaosClients is the race-detector E2E: concurrent
+// clients hammer the chaos scenario family through one daemon and every
+// response must be byte-identical to the CLI rendering — cache hits,
+// contention and admission queueing included.
+func TestConcurrentChaosClients(t *testing.T) {
+	family := []string{"chaos-crash-cascade-16", "partitioned-switch-evac-8", "drain-under-crash-256"}
+	if testing.Short() {
+		family = family[:2]
+	}
+	want := map[string][]byte{}
+	for _, name := range family {
+		spec, err := scenario.Load(filepath.Join(scenarioDir, name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = expectExec(t, spec)
+	}
+
+	_, url := newTestServer(t, Config{
+		ScenarioDir: scenarioDir, Cache: sim.NewCache(0),
+		MaxConcurrent: 3, QueueDepth: 16,
+	})
+	const clients = 2
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		for _, name := range family {
+			name := name
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				status, got, _ := postRun(t, url+"/v1/runs?name="+name, "")
+				if status != http.StatusOK {
+					t.Errorf("%s: status = %d\n%s", name, status, got)
+					return
+				}
+				if !bytes.Equal(got, want[name]) {
+					t.Errorf("%s: response differs from the CLI rendering", name)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// waitGoroutines polls until the goroutine count settles back near the
+// baseline — the leak assertion behind the admission criteria.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Idle HTTP keep-alive and timer goroutines linger briefly;
+		// a small cushion keeps the check meaningful without flaking.
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines: %d, baseline %d — leak?", runtime.NumGoroutine(), baseline)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -67,43 +68,75 @@ func cacheKey(sc Scenario) Scenario {
 // Run answers a scenario from the cache, simulating it at most once per
 // key. A nil receiver runs uncached.
 func (c *Cache) Run(sc Scenario) (*RunResult, error) {
+	return c.RunCtx(context.Background(), sc)
+}
+
+// RunCtx is Run with cancellation semantics engineered for shared,
+// long-lived caches (a daemon serving many clients):
+//
+//   - A waiter whose own ctx expires stops waiting and returns its ctx
+//     error; the in-flight leader is unaffected.
+//   - A leader that fails — including failing because its *own* ctx was
+//     cancelled — never poisons the key: the entry is dropped before the
+//     waiters wake, and every waiter re-dispatches (one becomes the new
+//     leader, the rest wait on it). Simulations are deterministic, so a
+//     re-dispatched waiter receives the bit-identical result it would
+//     have received from the original leader; a caller only ever sees
+//     its own error, never an innocent propagation of someone else's
+//     context.Canceled.
+//
+// Failures are not memoized, so a deterministic error (an invalid
+// scenario) terminates: the retrying waiter becomes the leader, computes
+// the same error itself and returns it as its own.
+func (c *Cache) RunCtx(ctx context.Context, sc Scenario) (*RunResult, error) {
 	if c == nil {
-		return Run(sc)
+		return RunCtx(ctx, sc)
 	}
 	key := cacheKey(sc)
 
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(e.elem)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				// The leader failed or was cancelled; its entry is already
+				// gone. Re-dispatch instead of propagating its error.
+				continue
+			}
+			return e.result(sc), nil
+		}
+		c.misses++
+		e := &cacheEntry{done: make(chan struct{})}
+		e.elem = c.lru.PushFront(key)
+		c.entries[key] = e
+		c.evictLocked()
 		c.mu.Unlock()
-		<-e.done
-		if e.err != nil {
-			return nil, e.err
+
+		res, err := RunCtx(ctx, sc)
+		e.res, e.err = res, err
+		if err != nil {
+			// Failures are not memoized: drop the entry *before* releasing
+			// the waiters, so their retry finds a clean slot.
+			c.mu.Lock()
+			c.removeLocked(key, e)
+			c.mu.Unlock()
+		}
+		close(e.done)
+		if err != nil {
+			return nil, err
 		}
 		return e.result(sc), nil
 	}
-	c.misses++
-	e := &cacheEntry{done: make(chan struct{})}
-	e.elem = c.lru.PushFront(key)
-	c.entries[key] = e
-	c.evictLocked()
-	c.mu.Unlock()
-
-	res, err := Run(sc)
-	e.res, e.err = res, err
-	if err != nil {
-		// Failures are not memoized: drop the entry so a later identical
-		// request retries, then release the waiters.
-		c.mu.Lock()
-		c.removeLocked(key, e)
-		c.mu.Unlock()
-	}
-	close(e.done)
-	if err != nil {
-		return nil, err
-	}
-	return e.result(sc), nil
 }
 
 // result adapts the memoized run to the requesting scenario: a shallow

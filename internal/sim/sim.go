@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -170,6 +171,16 @@ type RunResult struct {
 
 // Run executes one scenario to completion.
 func Run(sc Scenario) (*RunResult, error) {
+	return RunCtx(context.Background(), sc)
+}
+
+// RunCtx is Run with a cancellation boundary at every simulation step: a
+// done ctx abandons the run and returns ctx's error, so a disconnected
+// or deadline-expired caller stops burning CPU within one 100 ms step of
+// simulated time. Cancellation never changes results — a run that
+// completes under any ctx is bit-identical to an uncancellable one.
+func RunCtx(ctx context.Context, sc Scenario) (*RunResult, error) {
+	done := ctx.Done() // nil for background contexts: checks vanish
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -254,6 +265,15 @@ func Run(sc Scenario) (*RunResult, error) {
 
 	// stepOnce advances the whole world by one Step.
 	stepOnce := func() error {
+		// 0. Cancellation boundary: one non-blocking channel poll per step
+		// (skipped entirely for background contexts, whose Done is nil).
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		// 1. Schedule CPU on both hosts.
 		sa := src.Schedule()
 		da := dst.Schedule()
@@ -408,17 +428,25 @@ func RunRepeated(sc Scenario, minRuns int, tol float64) ([]*RunResult, error) {
 // every worker count returns the bit-identical run sequence; workers only
 // changes how many speculative runs execute concurrently.
 func RunRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
-	return runRepeated(nil, sc, minRuns, tol, workers)
+	return runRepeated(context.Background(), nil, sc, minRuns, tol, workers)
 }
 
 // RunRepeatedWorkers is the cache-aware variant of the package function:
 // identical semantics, with each run answered through the cache. A nil
 // receiver degrades to uncached execution.
 func (c *Cache) RunRepeatedWorkers(sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
-	return runRepeated(c, sc, minRuns, tol, workers)
+	return runRepeated(context.Background(), c, sc, minRuns, tol, workers)
 }
 
-func runRepeated(c *Cache, sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
+// RunRepeatedCtx is RunRepeatedWorkers with a cancellation boundary
+// between speculative batches and inside every run: a done ctx abandons
+// the repeat sequence and returns ctx's error. Prefixes returned before
+// cancellation are bit-identical to the uncancellable variant's.
+func (c *Cache) RunRepeatedCtx(ctx context.Context, sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
+	return runRepeated(ctx, c, sc, minRuns, tol, workers)
+}
+
+func runRepeated(ctx context.Context, c *Cache, sc Scenario, minRuns int, tol float64, workers int) ([]*RunResult, error) {
 	if minRuns < 2 {
 		return nil, errors.New("sim: need at least two runs")
 	}
@@ -430,11 +458,11 @@ func runRepeated(c *Cache, sc Scenario, minRuns int, tol float64, workers int) (
 	energies := make([]float64, 0, maxRuns)
 	// minRuns is the first-batch hint: convergence cannot fire earlier, so
 	// speculating past it before the first variance check is pure waste.
-	return parallel.Until(workers, maxRuns, minRuns,
+	return parallel.UntilCtx(ctx, workers, maxRuns, minRuns,
 		func(i int) (*RunResult, error) {
 			run := sc
 			run.Seed = sc.Seed + int64(i)*1009
-			return c.Run(run)
+			return c.RunCtx(ctx, run)
 		},
 		func(prefix []*RunResult) bool {
 			for i := len(energies); i < len(prefix); i++ {
