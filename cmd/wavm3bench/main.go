@@ -62,7 +62,10 @@ func main() {
 
 	ctx, cancel := common.Context()
 	defer cancel()
-	cache := common.Cache()
+	cache, err := common.Cache()
+	if err != nil {
+		fatal(err)
+	}
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
 	mcfg.Workers = common.Workers

@@ -17,9 +17,16 @@
 // disconnects, and SIGTERM/SIGINT drain gracefully — stop admitting,
 // let in-flight runs finish up to -drain, cancel the stragglers, exit 0.
 //
+// With -cache-dir the run cache gains a persistent tier: completed
+// simulations are published as checksummed artefacts in that directory
+// and answered from disk on later runs — by this daemon, other
+// replicas sharing the directory, or the CLIs. /healthz reports the
+// cache counters (kernel_runs, disk_hits, quarantined, …), so a warm
+// replica can be observed serving without executing a single kernel.
+//
 // Usage:
 //
-//	wavm3d -addr :8080 -dir scenarios/
+//	wavm3d -addr :8080 -dir scenarios/ -cache-dir /var/cache/wavm3
 //	curl -s --data-binary @scenarios/c1-cpuload-live.json localhost:8080/v1/runs
 package main
 
@@ -55,6 +62,10 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "wavm3d: ", log.LstdFlags)
+	cache, err := common.Cache()
+	if err != nil {
+		logger.Fatal(err)
+	}
 	srv, err := service.New(service.Config{
 		Addr:           *addr,
 		ScenarioDir:    *dir,
@@ -62,7 +73,7 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *runTO,
 		Workers:        common.Workers,
-		Cache:          common.Cache(),
+		Cache:          cache,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -31,7 +31,10 @@ func main() {
 	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	cache := common.Cache()
+	cache, err := common.Cache()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.DefaultConfig(hw.PairM)
 	cfg.Seed = *seed
 	cfg.Workers = common.Workers

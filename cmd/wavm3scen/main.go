@@ -100,21 +100,27 @@ func main() {
 
 	ctx, cancel := common.Context()
 	defer cancel()
-	cache := common.Cache()
+	cache, err := common.Cache()
+	if err != nil {
+		fatal(err)
+	}
 	perf := common.NewBenchReport("wavm3scen")
 	started := time.Now()
 
 	for i, c := range compiled {
 		t0 := time.Now()
-		hits0, misses0 := cache.Stats()
+		before := cache.Snapshot()
 		res, err := service.Exec(ctx, os.Stdout, c, common.Workers, cache)
 		if err != nil {
 			fatal(err)
 		}
 		// Per-artefact cache effectiveness: this scenario's share of the
-		// session cache traffic (a nil cache reads as zero lookups).
-		hits1, misses1 := cache.Stats()
-		perf.AddWithCache(specs[i].Name, time.Since(t0), hits1-hits0, misses1-misses0)
+		// session cache traffic across both tiers (a nil cache reads as
+		// zero lookups).
+		d := cache.Snapshot().Delta(before)
+		perf.AddWithCache(specs[i].Name, time.Since(t0), report.CacheDelta{
+			Hits: d.Hits, Misses: d.Misses, DiskHits: d.DiskHits, DiskMisses: d.DiskMisses,
+		})
 		// Chaos scenarios also record their SLO outcome in the artefact.
 		if res.Cluster != nil && len(c.Cluster.Config.Failures) > 0 {
 			perf.AnnotateSLO(report.SLO{

@@ -36,7 +36,10 @@ func main() {
 	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	cache := common.Cache()
+	cache, err := common.Cache()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed, Workers: common.Workers, Cache: cache}
 	if *quick {
 		cfg.LoadLevels = []int{0, 8}

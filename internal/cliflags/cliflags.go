@@ -1,9 +1,9 @@
 // Package cliflags wires the simulation-driving flags every command
-// shares — -workers, -nocache, -benchjson and -timeout — so the binaries
-// stay in flag parity by construction instead of by copy-paste. A command
-// registers the common set next to its own flags, builds the session
-// cache and execution context from it, and finishes its benchmark report
-// through it.
+// shares — -workers, -nocache, -cache-dir, -benchjson and -timeout — so
+// the binaries stay in flag parity by construction instead of by
+// copy-paste. A command registers the common set next to its own flags,
+// builds the session cache and execution context from it, and finishes
+// its benchmark report through it.
 package cliflags
 
 import (
@@ -30,8 +30,14 @@ type Common struct {
 	// 1 = sequential; results identical for every value).
 	Workers int
 	// NoCache disables the cross-campaign run cache (results identical,
-	// only slower).
+	// only slower). It overrides CacheDir: -nocache means no caching of
+	// any kind.
 	NoCache bool
+	// CacheDir, when non-empty, backs the run cache with a persistent
+	// content-addressed artefact directory shared across processes and
+	// sessions: a warm dir answers every cacheable kernel run from disk
+	// with bit-identical results.
+	CacheDir string
 	// BenchJSON, when non-empty, is where the machine-readable timing
 	// and cache metrics go.
 	BenchJSON string
@@ -47,6 +53,7 @@ func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.IntVar(&c.Workers, "workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
 	fs.BoolVar(&c.NoCache, "nocache", false, "disable the run cache (results identical, only slower)")
+	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist run artefacts in this directory (created if missing; shareable across processes; results identical)")
 	fs.StringVar(&c.BenchJSON, "benchjson", "", "write machine-readable timing and cache metrics to this path")
 	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the session after this wall-clock span (e.g. 90s, 5m; 0 = unbounded; exit code 3 on expiry)")
 	return c
@@ -68,13 +75,22 @@ func IsDeadline(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded)
 }
 
-// Cache builds the session run cache: nil when -nocache was given,
-// which every consumer treats as uncached execution.
-func (c *Common) Cache() *sim.Cache {
+// Cache builds the session run cache: nil when -nocache was given
+// (uncached execution), a memory-only cache by default, and a cache
+// backed by the persistent artefact directory when -cache-dir was
+// given. The error is an unusable -cache-dir.
+func (c *Common) Cache() (*sim.Cache, error) {
 	if c.NoCache {
-		return nil
+		return nil, nil
 	}
-	return sim.NewCache(0)
+	if c.CacheDir == "" {
+		return sim.NewCache(0), nil
+	}
+	store, err := sim.NewDirStore(c.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewCacheWithStore(0, store), nil
 }
 
 // NewBenchReport starts a benchmark report for the named tool with the
@@ -91,11 +107,21 @@ func (c *Common) NewBenchReport(tool string) *report.BenchReport {
 // (when requested). The returned error is a benchjson write failure.
 func (c *Common) Finish(w io.Writer, perf *report.BenchReport, cache *sim.Cache, started time.Time) error {
 	perf.TotalSeconds = time.Since(started).Seconds()
-	perf.CacheHits, perf.CacheMisses = cache.Stats()
-	perf.CacheEntries = cache.Len()
+	stats := cache.Snapshot()
+	perf.CacheHits, perf.CacheMisses = stats.Hits, stats.Misses
+	perf.CacheEntries = stats.Entries
+	perf.KernelRuns = stats.KernelRuns
+	if cache.Persistent() {
+		perf.DiskHits, perf.DiskMisses = stats.DiskHits, stats.DiskMisses
+		perf.Quarantined = stats.Quarantined
+	}
 	if cache != nil {
-		fmt.Fprintf(w, "%s: run cache: %d hits, %d misses, %d entries\n",
-			perf.Tool, perf.CacheHits, perf.CacheMisses, perf.CacheEntries)
+		fmt.Fprintf(w, "%s: run cache: %d hits, %d misses, %d entries, %d kernel runs\n",
+			perf.Tool, perf.CacheHits, perf.CacheMisses, perf.CacheEntries, perf.KernelRuns)
+		if cache.Persistent() {
+			fmt.Fprintf(w, "%s: cache dir: %d disk hits, %d disk misses, %d quarantined\n",
+				perf.Tool, stats.DiskHits, stats.DiskMisses, stats.Quarantined)
+		}
 	}
 	if c.BenchJSON == "" {
 		return nil

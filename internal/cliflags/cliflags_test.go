@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,12 +22,46 @@ func TestRegisterParses(t *testing.T) {
 	if c.Workers != 3 || !c.NoCache || c.BenchJSON != "p.json" {
 		t.Errorf("parsed %+v", c)
 	}
-	if c.Cache() != nil {
-		t.Error("-nocache must yield a nil cache")
+	if cache, err := c.Cache(); err != nil || cache != nil {
+		t.Errorf("-nocache must yield a nil cache (got %v, %v)", cache, err)
 	}
 	c.NoCache = false
-	if c.Cache() == nil {
-		t.Error("default must yield a cache")
+	if cache, err := c.Cache(); err != nil || cache == nil {
+		t.Errorf("default must yield a cache (got %v, %v)", cache, err)
+	}
+}
+
+func TestCacheDirBuildsPersistentCache(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	dir := filepath.Join(t.TempDir(), "runcache")
+	if err := fs.Parse([]string{"-cache-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := c.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cache.Persistent() {
+		t.Error("-cache-dir must yield a persistent cache")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("cache dir not created: %v", err)
+	}
+	// -nocache overrides -cache-dir: no caching of any kind.
+	c.NoCache = true
+	if cache, err := c.Cache(); err != nil || cache != nil {
+		t.Errorf("-nocache with -cache-dir must yield a nil cache (got %v, %v)", cache, err)
+	}
+	// An unusable directory is a startup error, not a silent downgrade.
+	c.NoCache = false
+	file := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.CacheDir = file
+	if _, err := c.Cache(); err == nil {
+		t.Error("a file as -cache-dir must error")
 	}
 }
 
@@ -37,7 +72,10 @@ func TestFinishWritesBenchJSON(t *testing.T) {
 		t.Errorf("workers not recorded: %+v", perf)
 	}
 	perf.Add("stage", time.Second)
-	cache := c.Cache()
+	cache, err := c.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var log bytes.Buffer
 	if err := c.Finish(&log, perf, cache, time.Now().Add(-time.Second)); err != nil {
 		t.Fatal(err)
@@ -61,8 +99,12 @@ func TestFinishWritesBenchJSON(t *testing.T) {
 func TestFinishNilCacheSilent(t *testing.T) {
 	c := &Common{NoCache: true}
 	perf := c.NewBenchReport("t")
+	cache, err := c.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var log bytes.Buffer
-	if err := c.Finish(&log, perf, c.Cache(), time.Now()); err != nil {
+	if err := c.Finish(&log, perf, cache, time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(log.String(), "run cache") {

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDeterministicWithDiskCache extends the repo-wide bit-identity
+// guarantee to the persistent cache at the cluster layer: a cold
+// store-backed run equals the sequential uncached reference, and a
+// second run from a fresh cache over the same directory — a new
+// process, as far as the cache can tell — reproduces it without
+// executing a single migration kernel.
+func TestDeterministicWithDiskCache(t *testing.T) {
+	base := policyFleet()
+	base.Workers = 1
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	newCache := func() *sim.Cache {
+		store, err := sim.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.NewCacheWithStore(0, store)
+	}
+
+	cold := policyFleet()
+	cold.Workers = 3
+	cold.Cache = newCache()
+	got, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("cold disk-cached report differs from the sequential uncached run")
+	}
+	if st := cold.Cache.Snapshot(); st.KernelRuns == 0 || st.DiskHits != 0 {
+		t.Errorf("cold stats implausible: %+v", st)
+	}
+
+	warm := policyFleet()
+	warm.Workers = 3
+	warm.Cache = newCache()
+	got2, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got2) {
+		t.Error("warm disk-cached report differs from the sequential uncached run")
+	}
+	if st := warm.Cache.Snapshot(); st.KernelRuns != 0 || st.DiskHits == 0 {
+		t.Errorf("warm stats = %+v, want pure disk hits and zero kernel runs", st)
+	}
+}

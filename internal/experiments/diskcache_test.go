@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestCampaignDeterministicWithDiskCache extends the cache-on/off
+// bit-identity guarantee to the persistent tier at the campaign layer:
+// a cold disk-cached campaign matches the uncached reference row for
+// row, and a fresh cache over the populated directory replays the whole
+// campaign from artefacts — zero kernel runs — still row-identical.
+func TestCampaignDeterministicWithDiskCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign integration test")
+	}
+	cfg := Config{
+		Pair:        hw.PairM,
+		MinRuns:     2,
+		VarianceTol: 0.9,
+		Seed:        43,
+		LoadLevels:  []int{0, 8},
+		DirtyLevels: []units.Fraction{0.05},
+	}
+	families := []Family{CPULoadSource}
+
+	uncached := cfg
+	uncached.Workers = 1
+	ref, err := RunCampaign(uncached, families...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	newCache := func() *sim.Cache {
+		store, err := sim.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.NewCacheWithStore(0, store)
+	}
+	sameRows := func(label string, camp *Campaign) {
+		t.Helper()
+		if got, want := camp.Dataset.Len(), ref.Dataset.Len(); got != want {
+			t.Fatalf("%s: %d rows, reference has %d", label, got, want)
+		}
+		for i := range ref.Dataset.Runs {
+			if !reflect.DeepEqual(ref.Dataset.Runs[i], camp.Dataset.Runs[i]) {
+				t.Fatalf("%s: row %d differs from the uncached reference", label, i)
+			}
+		}
+	}
+
+	cold := cfg
+	cold.Workers = 8
+	cold.Cache = newCache()
+	campCold, err := RunCampaign(cold, families...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows("cold", campCold)
+	if st := cold.Cache.Snapshot(); st.KernelRuns == 0 || st.DiskHits != 0 {
+		t.Errorf("cold stats implausible: %+v", st)
+	}
+
+	warm := cfg
+	warm.Workers = 8
+	warm.Cache = newCache()
+	campWarm, err := RunCampaign(warm, families...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows("warm", campWarm)
+	if st := warm.Cache.Snapshot(); st.KernelRuns != 0 || st.DiskHits == 0 {
+		t.Errorf("warm stats = %+v, want pure disk hits and zero kernel runs", st)
+	}
+}

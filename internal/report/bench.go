@@ -23,6 +23,12 @@ type BenchArtefact struct {
 	// for artefacts recorded without cache attribution.
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// DiskHits/DiskMisses are the persistent-tier probes this artefact's
+	// memory misses made when a cache dir was in use: DiskHits answered
+	// from committed artefacts on disk, DiskMisses ran the kernel and
+	// published a new artefact. Omitted for memory-only sessions.
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
 	// SLO scoring of chaos (failure-injecting) cluster scenarios; all
 	// omitted for artefacts without failure injection, so historical
 	// snapshots compare cleanly.
@@ -88,6 +94,14 @@ type BenchReport struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+	// DiskHits/DiskMisses describe the persistent tier at session end
+	// (omitted for memory-only sessions); KernelRuns counts simulations
+	// actually executed — zero for a fully warm persistent cache, which
+	// is exactly what the CI warm-phase gate asserts.
+	DiskHits    uint64 `json:"disk_hits,omitempty"`
+	DiskMisses  uint64 `json:"disk_misses,omitempty"`
+	KernelRuns  uint64 `json:"kernel_runs"`
+	Quarantined uint64 `json:"quarantined_artefacts,omitempty"`
 	// TotalSeconds is the whole session's wall-clock time.
 	TotalSeconds float64 `json:"total_seconds"`
 }
@@ -108,11 +122,21 @@ func (r *BenchReport) Add(id string, d time.Duration) {
 	r.Artefacts = append(r.Artefacts, BenchArtefact{ID: id, Seconds: d.Seconds()})
 }
 
+// CacheDelta is the run-cache traffic attributable to one artefact:
+// memory-tier lookups plus (for cache-dir sessions) persistent-tier
+// probes.
+type CacheDelta struct {
+	Hits, Misses         uint64
+	DiskHits, DiskMisses uint64
+}
+
 // AddWithCache appends one artefact timing with its run-cache lookup
-// deltas (hits and misses made while producing this artefact).
-func (r *BenchReport) AddWithCache(id string, d time.Duration, hits, misses uint64) {
+// deltas (traffic generated while producing this artefact).
+func (r *BenchReport) AddWithCache(id string, d time.Duration, delta CacheDelta) {
 	r.Artefacts = append(r.Artefacts, BenchArtefact{
-		ID: id, Seconds: d.Seconds(), CacheHits: hits, CacheMisses: misses,
+		ID: id, Seconds: d.Seconds(),
+		CacheHits: delta.Hits, CacheMisses: delta.Misses,
+		DiskHits: delta.DiskHits, DiskMisses: delta.DiskMisses,
 	})
 }
 

@@ -14,8 +14,9 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	r.Seed = 7
 	r.Workers = 2
 	r.Add("fig2", 1500*time.Millisecond)
-	r.AddWithCache("table7", 250*time.Millisecond, 12, 3)
+	r.AddWithCache("table7", 250*time.Millisecond, CacheDelta{Hits: 12, Misses: 3, DiskHits: 2, DiskMisses: 1})
 	r.CacheHits, r.CacheMisses, r.CacheEntries = 10, 4, 4
+	r.DiskHits, r.DiskMisses, r.KernelRuns = 2, 1, 1
 	r.TotalSeconds = 2.5
 
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -34,6 +35,12 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 	if back.Artefacts[1].CacheHits != 12 || back.Artefacts[1].CacheMisses != 3 {
 		t.Errorf("per-artefact cache stats lost: %+v", back.Artefacts[1])
+	}
+	if back.Artefacts[1].DiskHits != 2 || back.Artefacts[1].DiskMisses != 1 {
+		t.Errorf("per-artefact disk stats lost: %+v", back.Artefacts[1])
+	}
+	if back.DiskHits != 2 || back.DiskMisses != 1 || back.KernelRuns != 1 {
+		t.Errorf("session disk stats lost: %+v", back)
 	}
 	if back.Artefacts[0].CacheHits != 0 || back.Artefacts[0].CacheMisses != 0 {
 		t.Errorf("cache-less artefact gained stats: %+v", back.Artefacts[0])

@@ -29,10 +29,46 @@ func (s *Server) Handler() http.Handler {
 	return recoverPanics(s.cfg.Logger, mux)
 }
 
+// cacheStatus is the run-cache block of the health payload: the two
+// memory-tier counters every session has, plus the persistent-tier
+// counters when a cache dir is attached. KernelRuns is the operational
+// headline — a warm replica fleet sharing one cache dir serves with
+// this stuck at the simulations only it has seen first.
+type cacheStatus struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Entries     int    `json:"entries"`
+	KernelRuns  uint64 `json:"kernel_runs"`
+	Persistent  bool   `json:"persistent"`
+	DiskHits    uint64 `json:"disk_hits,omitempty"`
+	DiskMisses  uint64 `json:"disk_misses,omitempty"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	StoreErrors uint64 `json:"store_errors,omitempty"`
+}
+
+// healthStatus is the GET /healthz payload.
+type healthStatus struct {
+	Status string       `json:"status"`
+	Cache  *cacheStatus `json:"cache,omitempty"`
+}
+
 // handleHealthz reports liveness: the process is up, even while
-// draining (a draining daemon is healthy, just not ready).
+// draining (a draining daemon is healthy, just not ready). The payload
+// doubles as the daemon's metrics surface for the run cache, so
+// operators and CI can read hit rates and kernel-run counts without a
+// separate metrics stack.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	out := healthStatus{Status: "ok"}
+	if c := s.cfg.Cache; c != nil {
+		st := c.Snapshot()
+		out.Cache = &cacheStatus{
+			Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
+			KernelRuns: st.KernelRuns, Persistent: c.Persistent(),
+			DiskHits: st.DiskHits, DiskMisses: st.DiskMisses,
+			Quarantined: st.Quarantined, StoreErrors: st.StoreErrors,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleReadyz reports readiness: 200 while admitting, 503 once drain

@@ -61,7 +61,10 @@ type Config struct {
 	// Workers bounds each run's internal concurrency (0 = all CPUs;
 	// results identical for every value).
 	Workers int
-	// Cache is the shared run cache (nil = uncached execution).
+	// Cache is the shared run cache (nil = uncached execution). A cache
+	// built over a persistent store (sim.NewCacheWithStore) lets a fleet
+	// of replicas share one warm artefact directory: each replica's
+	// memory tier stays private, the disk tier answers across processes.
 	Cache *sim.Cache
 	// Logger receives operational chatter (default: log.Default).
 	Logger *log.Logger

@@ -3,7 +3,10 @@ package sim
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache memoizes completed runs across a whole campaign stack. Runs are
@@ -20,6 +23,16 @@ import (
 // consumer. The cache is bounded (least-recently-used eviction) and
 // clearable so long benchmark sessions do not grow without limit.
 //
+// A Cache optionally fronts a persistent CacheStore (NewCacheWithStore):
+// the memory tier stays the fast path and the singleflight authority,
+// and the store adds a second, cross-process tier consulted only by the
+// in-flight leader of each key — a disk hit fills the memory entry
+// without running the kernel, a disk miss runs the kernel and publishes
+// the artefact for every later process. Decoded artefacts are verified
+// end to end (checksum, version, key identity), and any decode failure
+// degrades to a miss that quarantines the bad file and re-runs the
+// kernel — never an error, never a wrong result.
+//
 // The zero value is not usable; construct with NewCache. A nil *Cache is
 // valid everywhere and degrades to uncached execution.
 type Cache struct {
@@ -29,6 +42,46 @@ type Cache struct {
 	lru     *list.List // of Scenario keys, front = most recent
 	hits    uint64
 	misses  uint64
+
+	// store is the optional persistent tier; nil means memory-only.
+	store CacheStore
+	// Persistent-tier counters, updated outside mu on the leader path.
+	diskHits    atomic.Uint64
+	diskMisses  atomic.Uint64
+	kernelRuns  atomic.Uint64
+	quarantined atomic.Uint64
+	storeErrors atomic.Uint64
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters across
+// both tiers. Hits/Misses count memory-tier lookups (every RunCtx does
+// exactly one); DiskHits/DiskMisses count persistent-tier probes by
+// leaders of memory misses; KernelRuns counts simulations actually
+// executed — the number a warm, intact cache drives to zero; Quarantined
+// counts corrupt artefacts moved aside; StoreErrors counts store I/O
+// failures survived by degrading to uncached behaviour.
+type CacheStats struct {
+	Hits, Misses         uint64
+	DiskHits, DiskMisses uint64
+	KernelRuns           uint64
+	Quarantined          uint64
+	StoreErrors          uint64
+	Entries              int
+}
+
+// Delta returns the counter movement from prev to s (Entries is carried
+// from s unchanged) — the per-artefact attribution wavm3scen records.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		DiskHits:    s.DiskHits - prev.DiskHits,
+		DiskMisses:  s.DiskMisses - prev.DiskMisses,
+		KernelRuns:  s.KernelRuns - prev.KernelRuns,
+		Quarantined: s.Quarantined - prev.Quarantined,
+		StoreErrors: s.StoreErrors - prev.StoreErrors,
+		Entries:     s.Entries,
+	}
 }
 
 type cacheEntry struct {
@@ -55,6 +108,19 @@ func NewCache(maxEntries int) *Cache {
 		lru:     list.New(),
 	}
 }
+
+// NewCacheWithStore builds a run cache backed by a persistent store.
+// Memory eviction never touches the store, and Clear drops only the
+// memory tier, so artefacts outlive both the entry bound and the
+// process.
+func NewCacheWithStore(maxEntries int, store CacheStore) *Cache {
+	c := NewCache(maxEntries)
+	c.store = store
+	return c
+}
+
+// Persistent reports whether the cache has a persistent tier.
+func (c *Cache) Persistent() bool { return c != nil && c.store != nil }
 
 // key canonicalises a scenario into its cache identity: defaults applied,
 // label stripped. Everything that influences the physics — pair, kind,
@@ -122,7 +188,7 @@ func (c *Cache) RunCtx(ctx context.Context, sc Scenario) (*RunResult, error) {
 		c.evictLocked()
 		c.mu.Unlock()
 
-		res, err := RunCtx(ctx, sc)
+		res, err := c.compute(ctx, sc, key)
 		e.res, e.err = res, err
 		if err != nil {
 			// Failures are not memoized: drop the entry *before* releasing
@@ -137,6 +203,87 @@ func (c *Cache) RunCtx(ctx context.Context, sc Scenario) (*RunResult, error) {
 		}
 		return e.result(sc), nil
 	}
+}
+
+// compute answers a memory-tier miss as the key's in-flight leader:
+// probe the persistent tier, elect a cross-process owner, and only then
+// run the kernel and publish the artefact. Store failures of every kind
+// (I/O errors, lock trouble, corrupt artefacts) degrade to uncached
+// behaviour; corruption additionally quarantines the file so the rerun's
+// Put republishes a good artefact under the same name.
+func (c *Cache) compute(ctx context.Context, sc, key Scenario) (*RunResult, error) {
+	if c.store == nil {
+		c.kernelRuns.Add(1)
+		return RunCtx(ctx, sc)
+	}
+	keyBytes := encodeCacheKey(key)
+	hash := sha256.Sum256(keyBytes)
+	name := artefactName(hash)
+
+	// Fast path: a complete, verified artefact answers without locking.
+	if res := c.loadArtefact(name, keyBytes, hash); res != nil {
+		c.diskHits.Add(1)
+		return res, nil
+	}
+	// Cross-process singleflight: elect one kernel-run owner per key.
+	// Losers block here and re-read the owner's artefact on wake-up.
+	if locker, ok := c.store.(CacheLocker); ok {
+		unlock, err := locker.Lock(ctx, name)
+		switch {
+		case err == nil:
+			defer unlock()
+			if res := c.loadArtefact(name, keyBytes, hash); res != nil {
+				c.diskHits.Add(1)
+				return res, nil
+			}
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
+			// Lock machinery failed (exotic filesystem): degrade to
+			// owner-wins Put, which may duplicate work across processes
+			// but stays correct.
+			c.storeErrors.Add(1)
+		}
+	}
+	c.diskMisses.Add(1)
+	c.kernelRuns.Add(1)
+	res, err := RunCtx(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	if perr := c.store.Put(name, encodeArtefact(keyBytes, hash, res)); perr != nil {
+		// A failed publish costs later processes a re-run, nothing else.
+		c.storeErrors.Add(1)
+	}
+	return res, nil
+}
+
+// loadArtefact reads and fully verifies one artefact, returning nil on
+// any miss. Decode failures — truncation, bit-rot, stale version, wrong
+// key — quarantine the file so the subsequent kernel rerun can publish
+// a good artefact under the same name.
+func (c *Cache) loadArtefact(name string, keyBytes []byte, hash [sha256.Size]byte) *RunResult {
+	data, err := c.store.Get(name)
+	if err != nil {
+		if !errors.Is(err, ErrArtefactNotFound) {
+			c.storeErrors.Add(1)
+		}
+		return nil
+	}
+	res, err := decodeArtefact(data, keyBytes, hash)
+	if err != nil {
+		c.quarantined.Add(1)
+		reason := reasonMalformed
+		var aerr *artefactError
+		if errors.As(err, &aerr) {
+			reason = aerr.reason
+		}
+		if qerr := c.store.Quarantine(name, reason); qerr != nil {
+			c.storeErrors.Add(1)
+		}
+		return nil
+	}
+	return res
 }
 
 // result adapts the memoized run to the requesting scenario: a shallow
@@ -182,7 +329,8 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Stats reports cumulative lookup hits and misses.
+// Stats reports cumulative memory-tier lookup hits and misses. Snapshot
+// returns the full two-tier picture.
 func (c *Cache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
@@ -192,7 +340,26 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// Clear empties the cache, keeping its bound and statistics.
+// Snapshot returns the cache's counters across both tiers. A nil cache
+// snapshots as all zeros.
+func (c *Cache) Snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	s := CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	c.mu.Unlock()
+	s.DiskHits = c.diskHits.Load()
+	s.DiskMisses = c.diskMisses.Load()
+	s.KernelRuns = c.kernelRuns.Load()
+	s.Quarantined = c.quarantined.Load()
+	s.StoreErrors = c.storeErrors.Load()
+	return s
+}
+
+// Clear empties the memory tier, keeping the bound, the statistics and
+// every persisted artefact (a cleared store-backed cache re-warms from
+// disk instead of re-running kernels).
 func (c *Cache) Clear() {
 	if c == nil {
 		return

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/migration"
+	"repro/internal/workload"
+)
+
+// diskScenario is a fast, fully cacheable scenario for the persistent
+// cache tests; seed varies the cache key.
+func diskScenario(seed int64) Scenario {
+	return Scenario{
+		Name:             "disk-cache-test",
+		Kind:             migration.NonLive,
+		MigratingProfile: workload.IdleProfile(),
+		Seed:             seed,
+	}
+}
+
+// newDiskCache builds a store-backed cache over dir, failing the test on
+// store trouble.
+func newDiskCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCacheWithStore(0, store)
+}
+
+// artefactFiles lists the artefact files (not locks, not quarantine) in
+// a cache dir.
+func artefactFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestDiskCacheColdWarmBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	sc := diskScenario(41)
+
+	want, err := Run(sc) // the uncached reference: what a cold run must equal
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := newDiskCache(t, dir)
+	got, err := cold.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("cold store-backed run differs from the uncached reference")
+	}
+	if st := cold.Snapshot(); st.DiskHits != 0 || st.DiskMisses != 1 || st.KernelRuns != 1 {
+		t.Errorf("cold stats = %+v, want 1 disk miss, 1 kernel run", st)
+	}
+	if files := artefactFiles(t, dir); len(files) != 1 {
+		t.Fatalf("cold run left %d artefacts, want 1", len(files))
+	}
+
+	// A fresh cache in a fresh process position: disk answers, the
+	// kernel never runs, and the result is bit-identical.
+	warm := newDiskCache(t, dir)
+	got2, err := warm.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Error("warm run differs from the uncached reference")
+	}
+	if st := warm.Snapshot(); st.DiskHits != 1 || st.DiskMisses != 0 || st.KernelRuns != 0 {
+		t.Errorf("warm stats = %+v, want 1 disk hit, 0 kernel runs", st)
+	}
+
+	// Clearing the memory tier re-warms from disk, not from the kernel.
+	warm.Clear()
+	if _, err := warm.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Snapshot(); st.KernelRuns != 0 || st.DiskHits != 2 {
+		t.Errorf("post-Clear stats = %+v, want 2 disk hits, 0 kernel runs", st)
+	}
+}
+
+func TestDiskCacheDistinctKeysDistinctArtefacts(t *testing.T) {
+	dir := t.TempDir()
+	c := newDiskCache(t, dir)
+	a, err := c.Run(diskScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run(diskScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Source.Samples, b.Source.Samples) {
+		t.Error("distinct seeds produced identical traces; keys degenerate")
+	}
+	if files := artefactFiles(t, dir); len(files) != 2 {
+		t.Errorf("%d artefacts for 2 keys", len(files))
+	}
+	// The label is excluded from the key: a renamed scenario shares the
+	// artefact.
+	renamed := diskScenario(1)
+	renamed.Name = "other-label"
+	if _, err := newDiskCache(t, dir).Run(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if files := artefactFiles(t, dir); len(files) != 2 {
+		t.Errorf("relabelled scenario minted a new artefact (%d files)", len(files))
+	}
+}
+
+func TestArtefactRoundTrip(t *testing.T) {
+	sc := diskScenario(7)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cacheKey(sc)
+	keyBytes := encodeCacheKey(key)
+	hash := sha256.Sum256(keyBytes)
+	data := encodeArtefact(keyBytes, hash, res)
+
+	back, err := decodeArtefact(data, keyBytes, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The artefact carries everything but the label; restore it the way
+	// the cache does and demand bit-identity.
+	back.Scenario = res.Scenario
+	if !reflect.DeepEqual(back, res) {
+		t.Error("decode(encode(res)) is not bit-identical")
+	}
+	// Determinism: encoding is canonical.
+	if !bytes.Equal(data, encodeArtefact(keyBytes, hash, back)) {
+		t.Error("re-encoding a decoded artefact changed bytes")
+	}
+}
+
+func TestDirStoreBasics(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get("absent.v1.run"); !errors.Is(err, ErrArtefactNotFound) {
+		t.Errorf("absent Get = %v, want ErrArtefactNotFound", err)
+	}
+	if err := store.Put("a.v1.run", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get("a.v1.run")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// No temp litter after a completed Put.
+	if tmp, _ := filepath.Glob(filepath.Join(store.Dir(), ".*.tmp-*")); len(tmp) != 0 {
+		t.Errorf("temp files left behind: %v", tmp)
+	}
+	if err := store.Quarantine("a.v1.run", "checksum"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get("a.v1.run"); !errors.Is(err, ErrArtefactNotFound) {
+		t.Errorf("quarantined artefact still readable: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(store.Dir(), quarantineDir, "a.v1.run.checksum")); err != nil {
+		t.Errorf("quarantined file not preserved: %v", err)
+	}
+	// Quarantining an already-moved file is success (another process won).
+	if err := store.Quarantine("a.v1.run", "checksum"); err != nil {
+		t.Errorf("double quarantine: %v", err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", ".hidden", quarantineDir} {
+		if err := store.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed name", bad)
+		}
+		if _, err := store.Get(bad); err == nil || errors.Is(err, ErrArtefactNotFound) {
+			t.Errorf("Get(%q) did not refuse the name", bad)
+		}
+	}
+}
+
+// TestDiskCachePutFailureDegrades: a store that cannot persist must not
+// fail runs — the session degrades to memory-only caching with the
+// failure counted.
+func TestDiskCachePutFailureDegrades(t *testing.T) {
+	c := NewCacheWithStore(0, failingStore{})
+	sc := diskScenario(3)
+	want, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("run failed on a broken store: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("broken-store result differs from uncached reference")
+	}
+	st := c.Snapshot()
+	if st.KernelRuns != 1 || st.StoreErrors == 0 {
+		t.Errorf("stats = %+v, want 1 kernel run and counted store errors", st)
+	}
+}
+
+// failingStore errors on everything except a clean miss.
+type failingStore struct{}
+
+func (failingStore) Get(string) ([]byte, error)      { return nil, ErrArtefactNotFound }
+func (failingStore) Put(string, []byte) error        { return errors.New("disk full") }
+func (failingStore) Quarantine(string, string) error { return errors.New("disk full") }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package sim
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockTry attempts a non-blocking exclusive flock on f, reporting
+// whether the lock was acquired. EINTR is a retryable non-acquisition,
+// not an error.
+func flockTry(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, syscall.EWOULDBLOCK), errors.Is(err, syscall.EAGAIN), errors.Is(err, syscall.EINTR):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// flockDrop releases the flock. The subsequent Close would release it
+// anyway; the explicit unlock just makes the handoff immediate.
+func flockDrop(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

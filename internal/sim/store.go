@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// ErrArtefactNotFound is a CacheStore's "no such artefact" answer; the
+// cache treats it as a clean miss (anything else a Get returns is an I/O
+// failure, counted but equally survived).
+var ErrArtefactNotFound = errors.New("sim: artefact not found")
+
+// CacheStore is the persistence tier behind a Cache: a content-addressed
+// blob store keyed by artefact name (hash + encoding version, see
+// artefactName). The dir-tree DirStore is the only backend today; an
+// object-store backend slots in behind the same three calls. Stores hold
+// opaque bytes — all encoding, verification and corruption handling
+// lives in the cache layer above, so a store never has to distinguish a
+// good artefact from a rotten one.
+//
+// Contract: Get returns ErrArtefactNotFound for absent names; Put is
+// atomic and owner-wins (concurrent writers of the same name are
+// bit-identical by construction, so any complete write is correct);
+// Quarantine moves a name out of the lookup path so the next Get misses.
+// All methods must be safe for concurrent use by multiple goroutines and
+// multiple processes.
+type CacheStore interface {
+	Get(name string) ([]byte, error)
+	Put(name string, data []byte) error
+	Quarantine(name, reason string) error
+}
+
+// CacheLocker is the optional cross-process singleflight a CacheStore
+// may offer: Lock blocks (honouring ctx) until the caller exclusively
+// owns the named artefact's compute slot, and the returned func releases
+// it. Stores without locking (an eventual object-store backend) simply
+// don't implement it — the cache then degrades to owner-wins Put, which
+// duplicates work across processes but never corrupts results.
+type CacheLocker interface {
+	Lock(ctx context.Context, name string) (unlock func(), err error)
+}
+
+// quarantineDir is DirStore's subdirectory for artefacts that failed to
+// decode; moving them aside (rather than deleting) keeps the evidence
+// for diagnosis while guaranteeing the next lookup misses.
+const quarantineDir = "quarantine"
+
+// DirStore is the directory-tree CacheStore: one file per artefact in a
+// single flat directory, shareable between concurrent processes (CLI
+// invocations, CI jobs, wavm3d replicas) on one filesystem.
+//
+//   - Put writes a temp file in the same directory, fsyncs, then renames
+//     over the final name — readers only ever observe absent or complete
+//     files, even across a crash mid-write.
+//   - Lock (the CacheLocker interface) takes an advisory flock on a
+//     sidecar <name>.lock file, so concurrent processes sharing the
+//     directory elect one kernel-run owner per key and the losers re-read
+//     the owner's artefact. Locks die with their process: a crashed owner
+//     never wedges the directory.
+//   - Quarantine renames a corrupt artefact into quarantine/ with the
+//     failure reason in the file name.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if necessary) a cache directory.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("sim: opening cache dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// checkName refuses names that could escape the store directory or
+// collide with its internals. Cache-layer names are hex hashes plus a
+// version suffix, so anything else indicates a bug.
+func (s *DirStore) checkName(name string) error {
+	if name == "" || name == quarantineDir || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("sim: invalid artefact name %q", name)
+	}
+	return nil
+}
+
+// Get reads an artefact's bytes.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	if err := s.checkName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrArtefactNotFound
+	}
+	return data, err
+}
+
+// Put atomically publishes an artefact: temp file in the same directory,
+// fsync, rename. A concurrent Put of the same name is owner-wins — both
+// writers produced bit-identical bytes, so whichever rename lands last
+// changes nothing observable.
+func (s *DirStore) Put(name string, data []byte) error {
+	if err := s.checkName(name); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: staging artefact: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("sim: writing artefact: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("sim: syncing artefact: %w", err))
+	}
+	// Readable by other users sharing the cache dir (CreateTemp defaults
+	// to 0600).
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(fmt.Errorf("sim: publishing artefact: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sim: closing artefact: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sim: publishing artefact: %w", err)
+	}
+	return nil
+}
+
+// Quarantine moves a corrupt artefact into quarantine/<name>.<reason>.
+// A missing source is success — a concurrent process already moved it.
+func (s *DirStore) Quarantine(name, reason string) error {
+	if err := s.checkName(name); err != nil {
+		return err
+	}
+	dst := filepath.Join(s.dir, quarantineDir, name+"."+reason)
+	err := os.Rename(filepath.Join(s.dir, name), dst)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// lockPollInterval paces the non-blocking flock retry loop: short enough
+// that a loser resumes promptly after the owner's sub-second kernel run,
+// long enough not to spin.
+const lockPollInterval = 5 * time.Millisecond
+
+// Lock implements CacheLocker with an advisory flock on <name>.lock,
+// acquired non-blocking in a poll loop so ctx cancellation is honoured
+// while waiting. The lock file itself is left in place — removing it
+// would race a third process onto a different inode and break the
+// exclusion.
+func (s *DirStore) Lock(ctx context.Context, name string) (func(), error) {
+	if err := s.checkName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, name+".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sim: opening artefact lock: %w", err)
+	}
+	for {
+		held, err := flockTry(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sim: locking artefact: %w", err)
+		}
+		if held {
+			return func() {
+				flockDrop(f)
+				f.Close()
+			}, nil
+		}
+		select {
+		case <-ctx.Done():
+			f.Close()
+			return nil, ctx.Err()
+		case <-time.After(lockPollInterval):
+		}
+	}
+}
+
+var (
+	_ CacheStore  = (*DirStore)(nil)
+	_ CacheLocker = (*DirStore)(nil)
+)
