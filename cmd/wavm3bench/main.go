@@ -66,6 +66,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
 	mcfg := experiments.DefaultConfig(hw.PairM)
 	mcfg.Seed = *seed
 	mcfg.Workers = common.Workers
@@ -233,6 +237,9 @@ func main() {
 	}
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wavm3bench: done in %v\n", time.Since(started).Round(time.Second))

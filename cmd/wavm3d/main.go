@@ -66,6 +66,10 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	stopProf, err := common.StartProfiles()
+	if err != nil {
+		logger.Fatal(err)
+	}
 	srv, err := service.New(service.Config{
 		Addr:           *addr,
 		ScenarioDir:    *dir,
@@ -96,6 +100,9 @@ func main() {
 		logger.Fatal(err)
 	}
 	if err := <-done; err != nil {
+		logger.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		logger.Fatal(err)
 	}
 	logger.Printf("drained, exiting")

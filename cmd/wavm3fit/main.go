@@ -35,6 +35,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.DefaultConfig(hw.PairM)
 	cfg.Seed = *seed
 	cfg.Workers = common.Workers
@@ -90,6 +94,9 @@ func main() {
 	perf.Add("tables", time.Since(t0))
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }

@@ -104,6 +104,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
 	perf := common.NewBenchReport("wavm3scen")
 	started := time.Now()
 
@@ -134,6 +138,9 @@ func main() {
 	}
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wavm3scen: %d scenario(s) in %v\n", len(specs), time.Since(started).Round(time.Millisecond))

@@ -40,6 +40,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.Config{Pair: *pair, MinRuns: *runs, VarianceTol: 0.5, Seed: *seed, Workers: common.Workers, Cache: cache}
 	if *quick {
 		cfg.LoadLevels = []int{0, 8}
@@ -76,6 +80,9 @@ func main() {
 	}
 
 	if err := common.Finish(os.Stderr, perf, cache, started); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 

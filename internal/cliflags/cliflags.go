@@ -1,9 +1,10 @@
 // Package cliflags wires the simulation-driving flags every command
-// shares — -workers, -nocache, -cache-dir, -benchjson and -timeout — so
-// the binaries stay in flag parity by construction instead of by
-// copy-paste. A command registers the common set next to its own flags,
-// builds the session cache and execution context from it, and finishes
-// its benchmark report through it.
+// shares — -workers, -nocache, -cache-dir, -benchjson, -timeout,
+// -cpuprofile and -memprofile — so the binaries stay in flag parity by
+// construction instead of by copy-paste. A command registers the common
+// set next to its own flags, builds the session cache and execution
+// context from it, starts the profilers around its compute, and
+// finishes its benchmark report through it.
 package cliflags
 
 import (
@@ -12,6 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/report"
@@ -45,6 +49,13 @@ type Common struct {
 	// expiry the compute core abandons in-flight work at its next
 	// cancellation boundary and the command exits with ExitDeadline.
 	Timeout time.Duration
+	// CPUProfile, when non-empty, writes a pprof CPU profile of the
+	// session there (started by StartProfiles, stopped by its closer).
+	CPUProfile string
+	// MemProfile, when non-empty, writes a pprof allocation profile of
+	// the session's end state there (a GC runs first so the heap numbers
+	// are live objects, not garbage awaiting collection).
+	MemProfile string
 }
 
 // Register binds the common flags on the given FlagSet (the default
@@ -56,7 +67,57 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist run artefacts in this directory (created if missing; shareable across processes; results identical)")
 	fs.StringVar(&c.BenchJSON, "benchjson", "", "write machine-readable timing and cache metrics to this path")
 	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the session after this wall-clock span (e.g. 90s, 5m; 0 = unbounded; exit code 3 on expiry)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the session to this path")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile of the session's end state to this path")
 	return c
+}
+
+// StartProfiles starts the profilers the session asked for and returns
+// a closer that must run before the command exits (it stops the CPU
+// profile and snapshots the heap). With neither flag set it is a no-op
+// returning a nil-error closer, so callers can wire it unconditionally:
+//
+//	stop, err := common.StartProfiles()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Callers that exit through os.Exit must invoke the closer explicitly
+// on those paths — deferred calls do not run.
+func (c *Common) StartProfiles() (stop func() error, err error) {
+	var cpu *os.File
+	if c.CPUProfile != "" {
+		cpu, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cliflags: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cliflags: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("cliflags: -cpuprofile: %w", err)
+			}
+			cpu = nil
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				return fmt.Errorf("cliflags: -memprofile: %w", err)
+			}
+			defer f.Close()
+			// Up-to-date live-object numbers: collect garbage before the
+			// snapshot, as `go test -memprofile` does.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("cliflags: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // Context builds the session's execution context from -timeout: the

@@ -270,6 +270,13 @@ type Config struct {
 	// demands bit-identical reports.
 	referenceScan bool
 
+	// fullRebuild disables the incremental dirty-set maintenance of the
+	// policy view: every planning round rebuilds the whole view from
+	// the runtime state. Test-only: the equivalence property test runs
+	// fleets through the dirty-set path, this fallback and the linear
+	// reference, and demands bit-identical reports.
+	fullRebuild bool
+
 	// simOverride replaces the cache/kernel execution of lowered
 	// migration scenarios. Test-only: the dispatch-transaction tests
 	// inject kernels that fail mid-batch.

@@ -37,6 +37,16 @@ type hostRT struct {
 	// snap is the host's persistent snapshot scratch: the VMState slice
 	// handed to the policy every tick, reused across rounds.
 	snap []consolidation.VMState
+
+	// Incremental-view bookkeeping (see view.go): the host's index in
+	// the engine's SoA policy view, its dirty/varying marks, and the
+	// counts of phase-driven residents and inbound reservations that
+	// keep it in the varying set.
+	vi        int32
+	dirtyMark bool
+	varyMark  bool
+	phasedRes int
+	phasedInc int
 }
 
 // vmRT is a guest's runtime state, including the phase cursor that makes
@@ -46,6 +56,9 @@ type vmRT struct {
 	VM
 	host      *hostRT
 	migrating bool
+	// phased marks a guest with a workload timeline: its demand varies
+	// continuously, so its host refreshes in the view every tick.
+	phased bool
 	// Phase cursor: pi is the phase the last evaluation landed in,
 	// pstart the cluster time that phase starts at. A query before
 	// pstart (the final report snapshot can rewind) resets the cursor.
@@ -179,6 +192,43 @@ type engine struct {
 	snapHosts  []consolidation.HostState
 	snapPinned []string
 	snapEvac   []string
+
+	// Incremental policy-view state (see view.go), active when the
+	// policy implements consolidation.ViewPolicy on the heap scheduler.
+	viewOn       bool
+	vp           consolidation.ViewPolicy
+	pview        consolidation.View
+	viewLive     int     // live slot count in the view arena
+	dirty        []int32 // hosts touched by events since the last refresh
+	varying      []int32 // hosts with phase-driven demand, refreshed every tick
+	orderScratch []int32
+	// viewEvents flags plan-input changes that are not per-host state
+	// (an abort cool-down expiring); havePlan/lastPlanMoves/lastPinned
+	// let a clean tick reuse the previous round's (empty) plan.
+	viewEvents    bool
+	havePlan      bool
+	lastPlanMoves int
+	lastPinned    int
+	downHosts     []*hostRT
+
+	// pendJoin is the one in-flight dispatch batch whose kernel runs
+	// were farmed to the worker pool; the event loop joins it before
+	// selecting the next event (see joinPending).
+	pendJoin *pendingDispatch
+}
+
+// pendingDispatch carries a staged dispatch batch from the event that
+// admitted it to the join point: the flights (not yet engine state),
+// the dispatch instant, and the channel its kernel results arrive on.
+type pendingDispatch struct {
+	t       time.Duration
+	flights []*flight
+	ch      chan dispatchResult
+}
+
+type dispatchResult struct {
+	runs []*sim.RunResult
+	err  error
 }
 
 // Run executes one cluster timeline to completion and returns its
@@ -218,9 +268,12 @@ func newEngine(cfg Config) (*engine, error) {
 		switches: make(map[string]*swState),
 	}
 	for _, r := range hosts {
-		h := &hostRT{resolved: r}
+		h := &hostRT{resolved: r, vi: int32(len(e.hosts))}
 		for _, v := range r.VMs {
-			vr := &vmRT{VM: v, host: h}
+			vr := &vmRT{VM: v, host: h, phased: len(v.Phases) > 0}
+			if vr.phased {
+				h.phasedRes++
+			}
 			h.vms = append(h.vms, vr)
 			e.vms[v.Name] = vr
 		}
@@ -229,6 +282,15 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.snapHosts = make([]consolidation.HostState, 0, len(e.hosts))
 	e.initFailures(cfg.Failures)
+	if vp, ok := e.viewEnabled(); ok && !cfg.Serial {
+		e.viewOn, e.vp = true, vp
+		e.rebuildView(0)
+		for _, h := range e.hosts {
+			if h.phasedRes > 0 {
+				e.markHostVarying(h)
+			}
+		}
+	}
 	// Explicit moves dispatch in (At, spec order); the stable sort keeps
 	// same-instant moves in the order the author wrote them.
 	e.pending = append([]TimedMove(nil), cfg.Moves...)
@@ -284,12 +346,21 @@ func (e *engine) run() (*Report, error) {
 	for {
 		// Cancellation boundary: one non-blocking poll per event (the
 		// checks vanish for background contexts, whose Done is nil).
+		// The context also bounds any kernel batch still in flight, so
+		// returning here cannot leak the dispatch goroutine.
 		if e.done != nil {
 			select {
 			case <-e.done:
 				return nil, e.ctx.Err()
 			default:
 			}
+		}
+		// Join the off-loop kernel batch before selecting the next
+		// event: a flight's first scheduler event (its head end) derives
+		// from its kernel result, so no later event may be chosen — let
+		// alone fired — until the batch has committed.
+		if err := e.joinPending(); err != nil {
+			return nil, err
 		}
 		t, ok := next()
 		if !ok {
@@ -441,23 +512,24 @@ func (e *engine) fire(t time.Duration) error {
 func (e *engine) dispatchDue(t time.Duration) error {
 	var batch []TimedMove
 	if e.cfg.Policy != nil && e.tick <= t && e.tick < e.cfg.Horizon {
-		snap, pinned, evac := e.snapshot(t)
-		pc := e.cfg.PolicyConfig
-		pc.Pinned = pinned
-		pc.Evacuate = evac
-		plan, err := e.cfg.Policy.Plan(snap, pc)
+		moves, pinnedLen, err := e.planRound(t)
 		if err != nil {
-			return fmt.Errorf("cluster: policy %s at t=%v: %w", e.cfg.Policy.Name(), t, err)
+			return err
 		}
-		for _, m := range plan.Moves {
+		for _, m := range moves {
 			batch = append(batch, TimedMove{VM: m.VM, From: m.From, To: m.To, At: t})
 		}
-		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(plan.Moves), Pinned: len(pinned)})
+		e.rep.Ticks = append(e.rep.Ticks, TickRecord{At: t, Moves: len(moves), Pinned: pinnedLen})
 		e.tick += e.cfg.Tick
 		// Abort cool-downs last exactly one round: this tick planned
-		// around them, the next is free to move the VM again.
-		for name := range e.fail.repin {
-			delete(e.fail.repin, name)
+		// around them, the next is free to move the VM again. Dropping a
+		// non-empty set changes the next round's pinned list without any
+		// host event, so it must defeat clean-tick plan reuse.
+		if len(e.fail.repin) > 0 {
+			e.viewEvents = true
+			for name := range e.fail.repin {
+				delete(e.fail.repin, name)
+			}
 		}
 	}
 	for len(e.pending) > 0 && e.pending[0].At <= t {
@@ -468,6 +540,44 @@ func (e *engine) dispatchDue(t time.Duration) error {
 		return e.dispatch(t, batch)
 	}
 	return nil
+}
+
+// planRound runs one policy round at instant t and returns its moves
+// plus the pinned-list length for the tick record. The fast path plans
+// against the incrementally maintained view; the linear-scan reference
+// and non-view policies build the classic AoS snapshot. On a clean tick
+// — no host refreshed, no pinned/evacuate input changed, and the
+// previous round planned zero moves — the plan is a pure function of
+// unchanged inputs, so the round reuses the previous (empty) result
+// without calling the policy.
+func (e *engine) planRound(t time.Duration) ([]consolidation.Move, int, error) {
+	if !e.viewOn {
+		snap, pinned, evac := e.snapshot(t)
+		pc := e.cfg.PolicyConfig
+		pc.Pinned = pinned
+		pc.Evacuate = evac
+		plan, err := e.cfg.Policy.Plan(snap, pc)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: policy %s at t=%v: %w", e.cfg.Policy.Name(), t, err)
+		}
+		return plan.Moves, len(pinned), nil
+	}
+	if e.cfg.fullRebuild {
+		e.rebuildView(t)
+	} else if !e.viewTick(t) && !e.viewEvents && e.havePlan && e.lastPlanMoves == 0 {
+		return nil, e.lastPinned, nil
+	}
+	e.viewEvents = false
+	pinned, evac := e.viewPinnedEvac()
+	pc := e.cfg.PolicyConfig
+	pc.Pinned = pinned
+	pc.Evacuate = evac
+	plan, err := e.vp.PlanView(&e.pview, pc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: policy %s at t=%v: %w", e.cfg.Policy.Name(), t, err)
+	}
+	e.havePlan, e.lastPlanMoves, e.lastPinned = true, len(plan.Moves), len(pinned)
+	return plan.Moves, len(pinned), nil
 }
 
 // snapshot renders the cluster as the consolidation layer sees it at
@@ -590,17 +700,20 @@ func (e *engine) checkMove(m TimedMove) (*vmRT, *hostRT, error) {
 	return v, dst, nil
 }
 
-// dispatch starts a batch of concurrent migrations at instant t: every
-// move is lowered against the pre-batch state, the kernel runs fan out
-// in parallel (each seeded by its dispatch index), and the resulting
-// flights join the timeline.
+// dispatch admits a batch of concurrent migrations at instant t: every
+// move is checked and lowered against the pre-batch state, then the
+// kernel runs are farmed to the worker pool off the event loop (each
+// seeded by its dispatch index). The staged flights become engine state
+// only when joinPending receives the batch's results — the event loop
+// joins before selecting any later event, because a flight's first
+// scheduler event derives from its kernel result.
 //
-// The batch is transactional: checks and lowering stage into locals,
-// and nothing — not the migrating flags, the incoming reservations,
-// the dispatch counter, nor the scheduler heaps — mutates until every
-// kernel run has succeeded. A simulate failure therefore leaves the
-// engine exactly as it was, so abort/retry layers above never observe
-// a half-dispatched batch.
+// The batch is transactional: checks and lowering stage into the
+// pending batch, and nothing — not the migrating flags, the incoming
+// reservations, the dispatch counter, nor the scheduler heaps — mutates
+// until every kernel run has succeeded. A simulate failure therefore
+// leaves the engine exactly as it was, so abort/retry layers above
+// never observe a half-dispatched batch.
 func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 	flights := make([]*flight, 0, len(batch))
 	scs := make([]sim.Scenario, 0, len(batch))
@@ -628,11 +741,33 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 		flights = append(flights, f)
 		scs = append(scs, sc)
 	}
-	runs, err := e.simulate(scs, func(i int) int { return flights[i].idx })
-	if err != nil {
-		return err // nothing committed: the engine state is untouched
+	pd := &pendingDispatch{t: t, flights: flights, ch: make(chan dispatchResult, 1)}
+	go func() {
+		runs, err := e.simulate(scs, func(i int) int { return flights[i].idx })
+		pd.ch <- dispatchResult{runs: runs, err: err}
+	}()
+	e.pendJoin = pd
+	return nil
+}
+
+// joinPending blocks on the in-flight dispatch batch, if any, and
+// commits it. On a kernel failure nothing has been committed — the
+// engine state is untouched and the error surfaces exactly as an
+// inline dispatch failure would have. The buffered result channel lets
+// the goroutine finish even if the run is abandoned by cancellation
+// first.
+func (e *engine) joinPending() error {
+	pd := e.pendJoin
+	if pd == nil {
+		return nil
 	}
-	for i, run := range runs {
+	e.pendJoin = nil
+	res := <-pd.ch
+	if res.err != nil {
+		return res.err // nothing committed: the engine state is untouched
+	}
+	t, flights := pd.t, pd.flights
+	for i, run := range res.runs {
 		f := flights[i]
 		f.run = run
 		f.headEnd = t + (run.Bounds.TS - run.Bounds.MS)
@@ -646,6 +781,13 @@ func (e *engine) dispatch(t time.Duration, batch []TimedMove) error {
 		f.vm.migrating = true
 		f.to.incoming = append(f.to.incoming, f)
 		e.fail.airborne = append(e.fail.airborne, f)
+		if e.viewOn {
+			e.markHostDirty(f.to)
+			if f.vm.phased {
+				f.to.phasedInc++
+				e.markHostVarying(f.to)
+			}
+		}
 	}
 	if e.cfg.referenceScan {
 		e.flights = append(e.flights, flights...)
@@ -700,6 +842,18 @@ func (e *engine) apply(v *vmRT, dst *hostRT) {
 
 // land completes a flight at instant t and records its outcome.
 func (e *engine) land(f *flight, t time.Duration) {
+	if e.viewOn {
+		// The source loses the guest, the destination converts its
+		// reservation into a resident.
+		e.markHostDirty(f.vm.host)
+		e.markHostDirty(f.to)
+		if f.vm.phased {
+			f.vm.host.phasedRes--
+			f.to.phasedRes++
+			f.to.phasedInc--
+			e.markHostVarying(f.to)
+		}
+	}
 	e.apply(f.vm, f.to)
 	f.vm.migrating = false
 	for i, g := range f.to.incoming {

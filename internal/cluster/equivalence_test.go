@@ -152,14 +152,18 @@ func injectFailures(r *rand.Rand, cfg *Config) {
 }
 
 // TestSchedulerEquivalence is the tentpole's safety net: on randomized
-// fleets, the heap scheduler (indexed event heap + per-switch virtual
-// time) and the retained linear-scan reference must produce
-// bit-identical reports — the same MigrationRecord stream, tick
-// records, shifts, stretches, energies, aborts and SLO scores. The
-// second half of the fleets inject random failure schedules (crashes,
-// flight-aborts, outage windows), so the equivalence covers the abort
-// paths too; a fleet where planning legitimately fails must fail
-// identically on both schedulers.
+// fleets, the heap scheduler with its incrementally maintained dirty-set
+// policy view, the property-tested full-rebuild fallback (the same view
+// planner, reconstructed from scratch every round), and the retained
+// linear-scan reference (AoS snapshots through the classic Plan entry
+// point) must produce bit-identical reports — the same MigrationRecord
+// stream, tick records, shifts, stretches, energies, aborts and SLO
+// scores. The second half of the fleets inject random failure schedules
+// (crashes, flight-aborts, outage windows), so the equivalence covers
+// the abort paths too — crash, abort and outage events must dirty
+// exactly the hosts they touch, or the incremental view diverges from
+// the rebuilt one here. A fleet where planning legitimately fails must
+// fail identically on every path.
 func TestSchedulerEquivalence(t *testing.T) {
 	cache := sim.NewCache(0)
 	r := rand.New(rand.NewSource(20260728))
@@ -175,16 +179,24 @@ func TestSchedulerEquivalence(t *testing.T) {
 		fast := cfg
 		fast.Cache = cache
 		want, errFast := Run(fast)
+		rebuild := cfg
+		rebuild.Cache = cache
+		rebuild.fullRebuild = true
+		full, errFull := Run(rebuild)
 		ref := cfg
 		ref.Cache = cache
 		ref.referenceScan = true
 		got, errRef := Run(ref)
-		if (errFast == nil) != (errRef == nil) ||
-			(errFast != nil && errFast.Error() != errRef.Error()) {
-			t.Fatalf("fleet %d: schedulers disagree on failure:\nheap: %v\nscan: %v", i, errFast, errRef)
+		if (errFast == nil) != (errRef == nil) || (errFast == nil) != (errFull == nil) ||
+			(errFast != nil && (errFast.Error() != errRef.Error() || errFast.Error() != errFull.Error())) {
+			t.Fatalf("fleet %d: schedulers disagree on failure:\ndirty-set: %v\nrebuild: %v\nscan: %v", i, errFast, errFull, errRef)
 		}
 		if errFast != nil {
 			continue
+		}
+		if !reflect.DeepEqual(want, full) {
+			t.Errorf("fleet %d (policy=%v, %d moves, %d failures): dirty-set and full-rebuild reports differ:\ndirty-set: %+v\nrebuild: %+v",
+				i, cfg.Policy != nil, len(cfg.Moves), len(cfg.Failures), want, full)
 		}
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("fleet %d (policy=%v, %d moves, %d failures): heap and linear-scan reports differ:\nheap: %+v\nscan: %+v",
@@ -285,5 +297,42 @@ func TestClusterTickAllocCeiling(t *testing.T) {
 	})
 	if allocs > ceiling {
 		t.Errorf("snapshot allocates %.0f times per policy round, ceiling is %d", allocs, ceiling)
+	}
+}
+
+// TestClusterTickAllocCeiling8k scales the allocation gate to fleet
+// size on the struct-of-arrays path: once the view arrays are sized, a
+// steady-state incremental tick — refresh a few dirty hosts, repair the
+// sorted order, rebuild the pinned lists — must allocate O(1),
+// independent of the 8,192-host fleet. The small constant ceiling
+// covers sort.Slice's closure boxing on the dirty set; anything that
+// scales with the host count blows straight through it.
+func TestClusterTickAllocCeiling8k(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the ceiling")
+	}
+	e, err := newEngine(sparseFleet(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.viewOn {
+		t.Fatal("sparse fixture did not enable the incremental view")
+	}
+	tick := time.Duration(0)
+	touch := func() {
+		tick += 15 * time.Minute
+		for i := 1; i <= 8; i++ {
+			e.markHostDirty(e.hosts[(i*997)%len(e.hosts)])
+		}
+		if !e.viewTick(tick) {
+			t.Fatal("a dirty tick reported itself clean")
+		}
+		e.viewPinnedEvac()
+	}
+	touch() // size the scratch buffers
+	const ceiling = 8
+	allocs := testing.AllocsPerRun(50, touch)
+	if allocs > ceiling {
+		t.Errorf("steady-state view tick allocates %.0f times, ceiling is %d", allocs, ceiling)
 	}
 }

@@ -142,6 +142,10 @@ func (e *engine) applyFailures(t time.Duration) {
 func (e *engine) crashHost(name string, t time.Duration) {
 	h := e.byName[name]
 	h.down = true
+	if e.viewOn {
+		e.markHostDirty(h)
+		e.downHosts = append(e.downHosts, h)
+	}
 	e.fail.crashes = append(e.fail.crashes, crashRecord{at: t, host: h})
 	// Collect first, then abort: aborting mutates the airborne list.
 	hit := e.fail.abortScratch[:0]
@@ -194,6 +198,15 @@ func (e *engine) abortFlight(f *flight, t time.Duration, reason string) {
 	}
 	energy, phase := e.abortCharge(f, t)
 	f.vm.migrating = false
+	if e.viewOn {
+		// The destination loses its reservation. The source's slots are
+		// unchanged (the mover never left), and the repin added below is
+		// reflected through viewPinnedEvac at the next round.
+		e.markHostDirty(f.to)
+		if f.vm.phased {
+			f.to.phasedInc--
+		}
+	}
 	if !f.vm.host.down && e.fail.repin != nil {
 		e.fail.repin[f.vm.Name] = true
 	}

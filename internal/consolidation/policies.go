@@ -8,61 +8,27 @@ import (
 	"repro/internal/units"
 )
 
-// planState is a Plan invocation's working state: the cloned hosts plus
-// the bookkeeping that makes the planning loops cheap — a name index
-// instead of linear scans, and per-host busy/memory aggregates so the
-// admission checks in the hot candidate loops are O(1) instead of
-// re-summing every resident VM.
-//
-// The aggregates are maintained by *re-summing a host in VM order after
-// each mutation*, never by incremental subtraction: floating-point
-// addition is order-sensitive, and the policies' outputs are pinned by
-// golden suites, so the cached values must be bit-identical to what
-// HostState.BusyThreads would return at the same point.
-type planState struct {
-	hosts []HostState
-	index map[string]int
-	busy  []float64
-	mem   []units.Bytes
-}
-
-func newPlanState(hosts []HostState) *planState {
-	st := &planState{
-		hosts: cloneHosts(hosts),
-		index: make(map[string]int, len(hosts)),
-		busy:  make([]float64, len(hosts)),
-		mem:   make([]units.Bytes, len(hosts)),
-	}
-	for i := range st.hosts {
-		st.index[st.hosts[i].Name] = i
-		st.recompute(i)
-	}
-	return st
-}
-
-// recompute refreshes a host's cached aggregates after its VM set
-// changed, summing in VM order (see the planState invariant).
-func (st *planState) recompute(i int) {
-	st.busy[i] = st.hosts[i].BusyThreads()
-	st.mem[i] = st.hosts[i].UsedMem()
-}
-
-// drainScratch is the reusable working memory of EnergyAware's
-// tentative drains. One instance serves every drain of a Plan call;
+// viewDrainScratch is the reusable working memory of EnergyAware's
+// tentative drains. One instance serves every drain of a PlanView call;
 // the epoch counter invalidates the per-host tentative deltas between
 // drains without clearing the arrays.
-type drainScratch struct {
+type viewDrainScratch struct {
 	epoch     int
 	tentEpoch []int
 	tentBusy  []float64
 	tentMem   []units.Bytes
-	srcVMs    []VMState // src residents not yet tentatively placed
-	order     []VMState // src residents, biggest first
-	moves     []Move
+	// tentTouched lists the hosts that received tentative placements
+	// this epoch, so the order-indexed target scan can price them as
+	// finalists instead of trusting the snapshot order.
+	tentTouched []int32
+	srcVMs      []VMState // src residents not yet tentatively placed
+	order       []VMState // src residents, biggest first
+	moves       []Move
+	moveDst     []int32 // target host index per move (avoids a name lookup at commit)
 }
 
-func newDrainScratch(n int) *drainScratch {
-	return &drainScratch{
+func newViewDrainScratch(n int) *viewDrainScratch {
+	return &viewDrainScratch{
 		tentEpoch: make([]int, n),
 		tentBusy:  make([]float64, n),
 		tentMem:   make([]units.Bytes, n),
@@ -73,16 +39,19 @@ func newDrainScratch(n int) *drainScratch {
 // drain's tentative placements. Tentative additions are applied
 // sequentially on top of the cached sum — the same left-to-right order
 // a re-sum of the appended VM list would use.
-func (sc *drainScratch) effective(st *planState, j int) (float64, units.Bytes) {
+func (sc *viewDrainScratch) effective(w *vwork, j int32) (float64, units.Bytes) {
 	if sc.tentEpoch[j] == sc.epoch {
 		return sc.tentBusy[j], sc.tentMem[j]
 	}
-	return st.busy[j], st.mem[j]
+	return w.busy[j], w.mem[j]
 }
 
 // add tentatively places a VM on host j for the rest of this drain.
-func (sc *drainScratch) add(st *planState, j int, vm VMState) {
-	b, m := sc.effective(st, j)
+func (sc *viewDrainScratch) add(w *vwork, j int32, vm VMState) {
+	b, m := sc.effective(w, j)
+	if sc.tentEpoch[j] != sc.epoch {
+		sc.tentTouched = append(sc.tentTouched, j)
+	}
 	sc.tentBusy[j], sc.tentMem[j] = b+vm.BusyVCPUs, m+vm.MemBytes
 	sc.tentEpoch[j] = sc.epoch
 }
@@ -99,7 +68,9 @@ type EnergyAware struct {
 // Name implements Policy.
 func (EnergyAware) Name() string { return "energy-aware" }
 
-// Plan implements Policy.
+// Plan implements Policy by flattening the hosts into a View and
+// delegating to the shared view planner; both entry points run one
+// implementation and produce bit-identical plans.
 func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	if p.Model == nil {
 		return nil, errors.New("consolidation: energy-aware policy needs a cost model")
@@ -107,57 +78,93 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	if err := validateHosts(hosts); err != nil {
 		return nil, err
 	}
+	return p.planView(NewView(hosts), cfg)
+}
+
+// PlanView implements ViewPolicy. The view's host set is trusted (the
+// cluster engine validates at construction); only the structural
+// minimum is re-checked.
+func (p EnergyAware) PlanView(v *View, cfg Config) (*Plan, error) {
+	if p.Model == nil {
+		return nil, errors.New("consolidation: energy-aware policy needs a cost model")
+	}
+	if v.hostCount() < 2 {
+		return nil, errors.New("consolidation: need at least two hosts")
+	}
+	return p.planView(v, cfg)
+}
+
+func (p EnergyAware) planView(v *View, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
-	st := newPlanState(hosts)
+	w := newVwork(v)
 	plan := &Plan{}
 	pinned := cfg.pinnedSet()
-	received := make([]bool, len(st.hosts)) // hosts that gained VMs this round
 
 	// Evacuations come first: VMs stranded on crashed hosts are placed
 	// before any consolidation work spends the move budget.
-	if err := p.evacuate(st, cfg, plan, pinned, received); err != nil {
+	if err := p.evacuateView(w, cfg, plan, pinned); err != nil {
 		return nil, err
 	}
 
-	// Drain candidates: least loaded first (cheapest to empty). Busy
-	// totals come from the cached aggregates — the same values a
-	// per-comparison re-sum would produce, without the O(H² log H)
-	// name-lookup-and-re-sum the comparator used to pay.
-	order := make([]int, len(st.hosts))
-	for i := range order {
-		order[i] = i
+	// Drain candidates: least loaded first (cheapest to empty). When
+	// nothing was evacuated the view's maintained Order is exactly this
+	// permutation; otherwise re-sort a copy under the post-evacuation
+	// aggregates.
+	order := v.Order
+	if len(w.touched) > 0 {
+		order = append([]int32(nil), v.Order...)
+		sort.Slice(order, func(a, b int) bool {
+			i, j := order[a], order[b]
+			if w.busy[i] != w.busy[j] {
+				return w.busy[i] < w.busy[j]
+			}
+			return v.HostName[i] < v.HostName[j]
+		})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		hi, hj := order[i], order[j]
-		if st.busy[hi] != st.busy[hj] {
-			return st.busy[hi] < st.busy[hj]
-		}
-		return st.hosts[hi].Name < st.hosts[hj].Name
-	})
 
-	sc := newDrainScratch(len(st.hosts))
+	// The order-indexed target scan: HeuristicCost's energy is strictly
+	// increasing in the destination's busy for a fixed (VM, source), so
+	// the cheapest admissible unmutated target is the first admissible
+	// host walking Order busy-ascending — and with NameOrdered, its
+	// (busy, name)-first position also reproduces the historical
+	// lowest-index tie-break. Hosts the plan has mutated are priced
+	// individually as finalists. liveOrder pre-drops hosts that can
+	// never take a drain guest (empty or down), so the walk skips a
+	// mostly-empty fleet in O(1).
+	_, fastOK := p.Model.(HeuristicCost)
+	fastOK = fastOK && v.NameOrdered
+	var liveOrder []int32
+	if fastOK {
+		liveOrder = make([]int32, 0, len(order))
+		for _, j := range order {
+			if w.cnt[j] > 0 && !v.Down[j] {
+				liveOrder = append(liveOrder, j)
+			}
+		}
+	}
+
+	sc := newViewDrainScratch(v.hostCount())
 	for _, si := range order {
-		src := &st.hosts[si]
-		if len(src.VMs) == 0 {
+		if w.cnt[si] == 0 {
 			continue
 		}
 		// A crashed host draws no idle power: emptying it frees nothing,
 		// and its residents move through evacuation, not consolidation.
-		if src.Down {
+		if v.Down[si] {
 			continue
 		}
 		// A host that just received migrations is pinned for this round:
 		// re-draining it would move VMs twice and burn energy for nothing.
-		if received[si] {
+		if w.received[si] {
 			continue
 		}
 		// A host with a pinned VM (an in-flight migration from an earlier
 		// round) can never be fully emptied, and a half-drain saves
 		// nothing — skip it until the flight lands.
-		if src.hasPinned(pinned) {
+		if w.hostHasPinned(si, pinned) {
 			continue
 		}
-		moves, ok, err := p.drain(st, si, cfg, len(plan.Moves), sc)
+		moves, ok, err := p.drainView(w, si, cfg, len(plan.Moves), sc, liveOrder, fastOK)
 		if err != nil {
 			return nil, err
 		}
@@ -170,55 +177,56 @@ func (p EnergyAware) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		for _, m := range moves {
 			drainCost += m.Cost.Energy
 		}
-		if drainCost > units.EnergyOver(src.IdlePower, cfg.Horizon) {
+		if drainCost > units.EnergyOver(v.IdlePower[si], cfg.Horizon) {
 			continue
 		}
 		// Commit: execute the drain against the working state.
-		for _, m := range moves {
-			fi, ti := st.index[m.From], st.index[m.To]
-			vm, found := removeVM(&st.hosts[fi], m.VM)
+		for k, m := range moves {
+			ti := sc.moveDst[k]
+			vm, found := w.removeVM(si, m.VM)
 			if !found {
 				return nil, fmt.Errorf("consolidation: internal error, VM %q vanished", m.VM)
 			}
-			st.hosts[ti].VMs = append(st.hosts[ti].VMs, vm)
-			st.recompute(fi)
-			st.recompute(ti)
+			w.addVM(ti, vm)
 			plan.Moves = append(plan.Moves, m)
-			received[ti] = true
+			w.received[ti] = true
 		}
 		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
 			break
 		}
 	}
-	finishPlan(plan, st.hosts)
+	w.finishPlan(plan)
 	return plan, nil
 }
 
-// evacuate places the VMs named by Config.Evacuate — stranded on Down
-// hosts — onto live hosts, hardest (biggest demand) first, each to the
-// admissible target with the lowest predicted migration energy. Unlike
-// drains, evacuations are unconditional: there is no all-or-nothing
-// gate and no payback check — a stranded VM runs nowhere until it
-// moves. Empty hosts ARE admissible refuge targets (waking a spare
-// beats leaving a VM stranded). A VM with no admissible target stays
-// put for this round; the next round retries.
-func (p EnergyAware) evacuate(st *planState, cfg Config, plan *Plan, pinned map[string]bool, received []bool) error {
+// evacuateView places the VMs named by Config.Evacuate — stranded on
+// Down hosts — onto live hosts, hardest (biggest demand) first, each to
+// the admissible target with the lowest predicted migration energy.
+// Unlike drains, evacuations are unconditional: there is no
+// all-or-nothing gate and no payback check — a stranded VM runs nowhere
+// until it moves. Empty hosts ARE admissible refuge targets (waking a
+// spare beats leaving a VM stranded). A VM with no admissible target
+// stays put for this round; the next round retries.
+func (p EnergyAware) evacuateView(w *vwork, cfg Config, plan *Plan, pinned map[string]bool) error {
 	evac := cfg.evacuateSet()
 	if evac == nil {
 		return nil
 	}
+	v := w.v
+	hosts := int32(v.hostCount())
 	type cand struct {
 		vm VMState
-		si int
+		si int32
 	}
 	var cands []cand
-	for i := range st.hosts {
-		if !st.hosts[i].Down {
+	for i := int32(0); i < hosts; i++ {
+		if !v.Down[i] {
 			continue
 		}
-		for _, v := range st.hosts[i].VMs {
-			if evac[v.Name] && !pinned[v.Name] {
-				cands = append(cands, cand{v, i})
+		s, c := v.VMStart[i], v.VMCount[i]
+		for k := s; k < s+c; k++ {
+			if evac[v.VMName[k]] && !pinned[v.VMName[k]] {
+				cands = append(cands, cand{v.vm(k), i})
 			}
 		}
 	}
@@ -232,17 +240,17 @@ func (p EnergyAware) evacuate(st *planState, cfg Config, plan *Plan, pinned map[
 		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
 			return nil
 		}
-		best := -1
+		best := int32(-1)
 		var bestCost MigrationCost
-		for j := range st.hosts {
-			if j == c.si || st.hosts[j].Down {
+		for j := int32(0); j < hosts; j++ {
+			if j == c.si || v.Down[j] {
 				continue
 			}
-			if st.busy[j]+c.vm.BusyVCPUs > float64(st.hosts[j].Threads)*cfg.CPUCap ||
-				st.mem[j]+c.vm.MemBytes > st.hosts[j].MemBytes {
+			if w.busy[j]+c.vm.BusyVCPUs > float64(v.Threads[j])*cfg.CPUCap ||
+				w.mem[j]+c.vm.MemBytes > v.MemCap[j] {
 				continue
 			}
-			cost, err := p.Model.Cost(c.vm, st.busy[c.si]-c.vm.BusyVCPUs, st.busy[j])
+			cost, err := p.Model.Cost(c.vm, w.busy[c.si]-c.vm.BusyVCPUs, w.busy[j])
 			if err != nil {
 				return err
 			}
@@ -254,33 +262,57 @@ func (p EnergyAware) evacuate(st *planState, cfg Config, plan *Plan, pinned map[
 		if best < 0 {
 			continue // unplaceable this round; the next tick retries
 		}
-		vm, found := removeVM(&st.hosts[c.si], c.vm.Name)
+		vm, found := w.removeVM(c.si, c.vm.Name)
 		if !found {
 			return fmt.Errorf("consolidation: internal error, VM %q vanished", c.vm.Name)
 		}
-		st.hosts[best].VMs = append(st.hosts[best].VMs, vm)
-		st.recompute(c.si)
-		st.recompute(best)
-		received[best] = true
-		plan.Moves = append(plan.Moves, Move{VM: vm.Name, From: st.hosts[c.si].Name, To: st.hosts[best].Name, Cost: bestCost})
+		w.addVM(best, vm)
+		w.received[best] = true
+		plan.Moves = append(plan.Moves, Move{VM: vm.Name, From: v.HostName[c.si], To: v.HostName[best], Cost: bestCost})
 	}
 	return nil
 }
 
-// drain plans the complete evacuation of host si, tentatively, against
-// the scratch deltas — the working state itself is untouched until the
-// caller commits. It returns ok=false when some VM has no admissible
-// target or the move budget would be exceeded.
-func (p EnergyAware) drain(st *planState, si int, cfg Config, movesSoFar int, sc *drainScratch) ([]Move, bool, error) {
-	src := &st.hosts[si]
+// considerTarget prices host j as a drain target for vm and folds it
+// into the running best under the historical tie-breaking: strictly
+// lower energy wins, equal energy keeps the lowest host index.
+func (p EnergyAware) considerTarget(w *vwork, sc *viewDrainScratch, si, j int32, vm VMState, srcArg float64, cfg Config, best int32, bestCost MigrationCost) (int32, MigrationCost, error) {
+	if j < 0 || j == si {
+		return best, bestCost, nil
+	}
+	if w.cnt[j] == 0 || w.v.Down[j] {
+		return best, bestCost, nil
+	}
+	busy, mem := sc.effective(w, j)
+	if busy+vm.BusyVCPUs > float64(w.v.Threads[j])*cfg.CPUCap ||
+		mem+vm.MemBytes > w.v.MemCap[j] {
+		return best, bestCost, nil
+	}
+	cost, err := p.Model.Cost(vm, srcArg, busy)
+	if err != nil {
+		return best, bestCost, err
+	}
+	if best < 0 || cost.Energy < bestCost.Energy || (cost.Energy == bestCost.Energy && j < best) {
+		return j, cost, nil
+	}
+	return best, bestCost, nil
+}
+
+// drainView plans the complete evacuation of host si, tentatively,
+// against the scratch deltas — the working state itself is untouched
+// until the caller commits. It returns ok=false when some VM has no
+// admissible target or the move budget would be exceeded.
+func (p EnergyAware) drainView(w *vwork, si int32, cfg Config, movesSoFar int, sc *viewDrainScratch, liveOrder []int32, fastOK bool) ([]Move, bool, error) {
+	v := w.v
+	hosts := int32(v.hostCount())
 	sc.epoch++
 	sc.moves = sc.moves[:0]
-	sc.srcVMs = append(sc.srcVMs[:0], src.VMs...)
+	sc.moveDst = sc.moveDst[:0]
+	sc.tentTouched = sc.tentTouched[:0]
+	sc.srcVMs = w.appendVMs(sc.srcVMs[:0], si)
 
-	// Biggest VMs first: they are the hardest to place. Each candidate
-	// host's VM list is sorted at most once per planning round — drains
-	// visit every source exactly once.
-	sc.order = append(sc.order[:0], src.VMs...)
+	// Biggest VMs first: they are the hardest to place.
+	sc.order = append(sc.order[:0], sc.srcVMs...)
 	sort.Slice(sc.order, func(i, j int) bool {
 		if sc.order[i].BusyVCPUs != sc.order[j].BusyVCPUs {
 			return sc.order[i].BusyVCPUs > sc.order[j].BusyVCPUs
@@ -298,31 +330,75 @@ func (p EnergyAware) drain(st *planState, si int, cfg Config, movesSoFar int, sc
 		for _, r := range sc.srcVMs {
 			srcBusy += r.BusyVCPUs
 		}
-		best := -1
+		srcArg := srcBusy - vm.BusyVCPUs
+		best := int32(-1)
 		var bestCost MigrationCost
-		for j := range st.hosts {
-			if j == si {
-				continue
+		if fastOK && srcArg >= 0 {
+			// Order-indexed scan: the first admissible unmutated host in
+			// busy-ascending order is the cheapest unmutated target (cost
+			// monotone in destination busy; ties resolve to the lowest
+			// name = lowest index under NameOrdered). Mutated hosts —
+			// committed (touched) or tentative this drain (tentTouched) —
+			// are bounded by the move budget and priced individually.
+			// (HeuristicCost's negative-load special case flattens the
+			// cost curve, so srcArg < 0 falls back to the linear scan.)
+			cand := int32(-1)
+			for _, j := range liveOrder {
+				if j == si || w.cnt[j] == 0 || w.touchedMark[j] || sc.tentEpoch[j] == sc.epoch {
+					continue
+				}
+				if w.busy[j]+vm.BusyVCPUs > float64(v.Threads[j])*cfg.CPUCap ||
+					w.mem[j]+vm.MemBytes > v.MemCap[j] {
+					continue
+				}
+				cand = j
+				break
 			}
-			// Never wake an already-empty host to fill it: that defeats
-			// consolidation. (Empty hosts never receive tentative adds, so
-			// the resident count needs no delta tracking.) Crashed hosts
-			// take no guests at all.
-			if len(st.hosts[j].VMs) == 0 || st.hosts[j].Down {
-				continue
-			}
-			busy, mem := sc.effective(st, j)
-			if busy+vm.BusyVCPUs > float64(st.hosts[j].Threads)*cfg.CPUCap ||
-				mem+vm.MemBytes > st.hosts[j].MemBytes {
-				continue
-			}
-			cost, err := p.Model.Cost(vm, srcBusy-vm.BusyVCPUs, busy)
+			var err error
+			best, bestCost, err = p.considerTarget(w, sc, si, cand, vm, srcArg, cfg, best, bestCost)
 			if err != nil {
 				return nil, false, err
 			}
-			if best < 0 || cost.Energy < bestCost.Energy {
-				best = j
-				bestCost = cost
+			for _, j := range w.touched {
+				best, bestCost, err = p.considerTarget(w, sc, si, j, vm, srcArg, cfg, best, bestCost)
+				if err != nil {
+					return nil, false, err
+				}
+			}
+			for _, j := range sc.tentTouched {
+				if w.touchedMark[j] {
+					continue // already priced above
+				}
+				best, bestCost, err = p.considerTarget(w, sc, si, j, vm, srcArg, cfg, best, bestCost)
+				if err != nil {
+					return nil, false, err
+				}
+			}
+		} else {
+			for j := int32(0); j < hosts; j++ {
+				if j == si {
+					continue
+				}
+				// Never wake an already-empty host to fill it: that defeats
+				// consolidation. (Empty hosts never receive tentative adds,
+				// so the resident count needs no delta tracking.) Crashed
+				// hosts take no guests at all.
+				if w.cnt[j] == 0 || v.Down[j] {
+					continue
+				}
+				busy, mem := sc.effective(w, j)
+				if busy+vm.BusyVCPUs > float64(v.Threads[j])*cfg.CPUCap ||
+					mem+vm.MemBytes > v.MemCap[j] {
+					continue
+				}
+				cost, err := p.Model.Cost(vm, srcArg, busy)
+				if err != nil {
+					return nil, false, err
+				}
+				if best < 0 || cost.Energy < bestCost.Energy {
+					best = j
+					bestCost = cost
+				}
 			}
 		}
 		if best < 0 {
@@ -331,8 +407,9 @@ func (p EnergyAware) drain(st *planState, si int, cfg Config, movesSoFar int, sc
 		if _, found := removeVMSlice(&sc.srcVMs, vm.Name); !found {
 			return nil, false, fmt.Errorf("consolidation: internal error draining %q", vm.Name)
 		}
-		sc.add(st, best, vm)
-		sc.moves = append(sc.moves, Move{VM: vm.Name, From: src.Name, To: st.hosts[best].Name, Cost: bestCost})
+		sc.add(w, best, vm)
+		sc.moves = append(sc.moves, Move{VM: vm.Name, From: v.HostName[si], To: v.HostName[best], Cost: bestCost})
+		sc.moveDst = append(sc.moveDst, best)
 	}
 	return sc.moves, true, nil
 }
@@ -351,39 +428,49 @@ type FirstFitDecreasing struct {
 // Name implements Policy.
 func (FirstFitDecreasing) Name() string { return "first-fit-decreasing" }
 
-// Plan implements Policy.
+// Plan implements Policy via the shared view planner (see
+// EnergyAware.Plan).
 func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	if err := validateHosts(hosts); err != nil {
 		return nil, err
 	}
+	return p.planView(NewView(hosts), cfg)
+}
+
+// PlanView implements ViewPolicy.
+func (p FirstFitDecreasing) PlanView(v *View, cfg Config) (*Plan, error) {
+	if v.hostCount() < 2 {
+		return nil, errors.New("consolidation: need at least two hosts")
+	}
+	return p.planView(v, cfg)
+}
+
+func (p FirstFitDecreasing) planView(v *View, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
 	plan := &Plan{}
 	pinned := cfg.pinnedSet()
 	evac := cfg.evacuateSet()
+	n := v.hostCount()
 
-	// Pre-plan state: the input is read-only, so origin loads (for move
-	// pricing) come straight from it — no working clone needed.
-	index := make(map[string]int, len(hosts))
-	preBusy := make([]float64, len(hosts))
-	for i := range hosts {
-		index[hosts[i].Name] = i
-		preBusy[i] = hosts[i].BusyThreads()
-	}
+	// Origin loads for move pricing come straight from the read-only
+	// view aggregates — the same sums BusyThreads would return.
+	preBusy := v.Busy
 
 	// Gather every movable VM with its origin. Pinned VMs (in-flight
 	// migrations from a previous round) are not re-packed: they keep
 	// their bin below and just consume its capacity.
 	type placed struct {
 		vm   VMState
-		from string
+		from int32
 	}
 	var all []placed
-	for _, h := range hosts {
-		for _, v := range h.VMs {
-			if pinned[v.Name] {
+	for i := int32(0); i < int32(n); i++ {
+		s, c := v.VMStart[i], v.VMCount[i]
+		for k := s; k < s+c; k++ {
+			if pinned[v.VMName[k]] {
 				continue
 			}
-			all = append(all, placed{v, h.Name})
+			all = append(all, placed{v.vm(k), i})
 		}
 	}
 	// Evacuees pack first — a stranded VM runs nowhere until placed, so
@@ -400,21 +487,21 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 	})
 
 	// Re-pack into empty bins in host order; pinned VMs pre-occupy their
-	// current bin. Bin loads are tracked as running aggregates, added in
-	// placement order — bit-identical to re-summing the bin's VM list.
-	bins := cloneHosts(hosts)
-	binBusy := make([]float64, len(bins))
-	binMem := make([]units.Bytes, len(bins))
-	for i := range bins {
-		kept := bins[i].VMs[:0]
-		for _, v := range bins[i].VMs {
-			if pinned[v.Name] {
-				kept = append(kept, v)
+	// current bin. Bin loads start from the pinned slots summed in slot
+	// order and grow in placement order — bit-identical to re-summing
+	// the bin's VM list after each placement.
+	binBusy := make([]float64, n)
+	binMem := make([]units.Bytes, n)
+	binCnt := make([]int32, n)
+	for i := 0; i < n; i++ {
+		s, c := v.VMStart[i], v.VMCount[i]
+		for k := s; k < s+c; k++ {
+			if pinned[v.VMName[k]] {
+				binBusy[i] += v.VMBusy[k]
+				binMem[i] += v.VMMem[k]
+				binCnt[i]++
 			}
 		}
-		bins[i].VMs = kept
-		binBusy[i] = bins[i].BusyThreads()
-		binMem[i] = bins[i].UsedMem()
 	}
 	for idx, pl := range all {
 		// Move budget exhausted: every VM not yet processed stays where
@@ -423,32 +510,31 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 		// run the unmoved tail of the packing order.
 		if cfg.MaxMoves > 0 && len(plan.Moves) >= cfg.MaxMoves {
 			for _, rest := range all[idx:] {
-				origin := &bins[index[rest.from]]
-				origin.VMs = append(origin.VMs, rest.vm)
+				binCnt[rest.from]++
 			}
 			break
 		}
-		placedAt := -1
-		for i := range bins {
-			if bins[i].Down {
+		placedAt := int32(-1)
+		for i := 0; i < n; i++ {
+			if v.Down[i] {
 				continue // crashed bins take no guests
 			}
-			if binBusy[i]+pl.vm.BusyVCPUs <= float64(bins[i].Threads)*cfg.CPUCap &&
-				binMem[i]+pl.vm.MemBytes <= bins[i].MemBytes {
-				bins[i].VMs = append(bins[i].VMs, pl.vm)
+			if binBusy[i]+pl.vm.BusyVCPUs <= float64(v.Threads[i])*cfg.CPUCap &&
+				binMem[i]+pl.vm.MemBytes <= v.MemCap[i] {
 				binBusy[i] += pl.vm.BusyVCPUs
 				binMem[i] += pl.vm.MemBytes
-				placedAt = i
+				binCnt[i]++
+				placedAt = int32(i)
 				break
 			}
 		}
 		if placedAt < 0 {
 			return nil, fmt.Errorf("consolidation: FFD cannot place VM %q", pl.vm.Name)
 		}
-		if bins[placedAt].Name != pl.from {
-			move := Move{VM: pl.vm.Name, From: pl.from, To: bins[placedAt].Name}
+		if placedAt != pl.from {
+			move := Move{VM: pl.vm.Name, From: v.HostName[pl.from], To: v.HostName[placedAt]}
 			if p.Model != nil {
-				srcBusy := preBusy[index[pl.from]] - pl.vm.BusyVCPUs
+				srcBusy := preBusy[pl.from] - pl.vm.BusyVCPUs
 				dstBusy := binBusy[placedAt] - pl.vm.BusyVCPUs
 				cost, err := p.Model.Cost(pl.vm, srcBusy, dstBusy)
 				if err != nil {
@@ -459,6 +545,22 @@ func (p FirstFitDecreasing) Plan(hosts []HostState, cfg Config) (*Plan, error) {
 			plan.Moves = append(plan.Moves, move)
 		}
 	}
-	finishPlan(plan, bins)
+	for i := 0; i < n; i++ {
+		if binCnt[i] == 0 && !v.Down[i] {
+			plan.FreedHosts = append(plan.FreedHosts, v.HostName[i])
+			plan.IdleSavings += v.IdlePower[i]
+		}
+	}
+	sort.Strings(plan.FreedHosts)
+	for _, m := range plan.Moves {
+		plan.MigrationEnergy += m.Cost.Energy
+	}
 	return plan, nil
 }
+
+// Compile-time interface checks: both built-in policies plan directly
+// against views.
+var (
+	_ ViewPolicy = EnergyAware{}
+	_ ViewPolicy = FirstFitDecreasing{}
+)

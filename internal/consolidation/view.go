@@ -1,0 +1,265 @@
+package consolidation
+
+import (
+	"sort"
+
+	"repro/internal/units"
+)
+
+// View is the struct-of-arrays form of a fleet snapshot: parallel
+// per-host arrays plus one flat VM-slot arena, indexed by VMStart and
+// VMCount ranges. A policy snapshot at fleet scale is then O(1) slice
+// headers instead of O(VMs) struct copies, and a caller that maintains
+// a View incrementally (the cluster engine) only rewrites the slots of
+// hosts an event actually touched.
+//
+// Invariants, on which the policies' bit-identity to the historical
+// []HostState path rests:
+//
+//   - Busy[i] and Mem[i] are always produced by summing host i's slots
+//     in slot order — never by incremental subtraction — so they equal
+//     what HostState.BusyThreads/UsedMem would return for the same VM
+//     list (floating-point addition is order-sensitive).
+//   - Order holds every host index, ascending by (Busy, HostName).
+//     Host names are unique, so the order is a unique total order and
+//     any maintenance strategy (full sort, incremental merge) yields
+//     the same permutation.
+//   - A host's slots list its residents first (in the owner's
+//     iteration order) and any reservation entries after them, exactly
+//     as the AoS snapshot ordered HostState.VMs.
+type View struct {
+	// Per-host parallel arrays.
+	HostName  []string
+	Threads   []int
+	MemCap    []units.Bytes
+	IdlePower []units.Watts
+	Down      []bool
+	Busy      []float64
+	Mem       []units.Bytes
+	VMStart   []int32
+	VMCount   []int32
+	// Order is the host permutation ascending by (Busy, HostName).
+	Order []int32
+	// VM slot arena.
+	VMName  []string
+	VMMem   []units.Bytes
+	VMBusy  []float64
+	VMDirty []units.Fraction
+	// NameOrdered records that host index order equals host name order
+	// (the cluster engine sorts hosts by name). It licenses the
+	// order-indexed target scan, whose tie-breaking by name must agree
+	// with the historical tie-breaking by index.
+	NameOrdered bool
+}
+
+// ViewPolicy is a Policy that can plan directly against a View. The
+// built-in policies implement it, and their classic Plan entry points
+// delegate through NewView, so both paths share one implementation and
+// produce bit-identical plans.
+type ViewPolicy interface {
+	Policy
+	PlanView(v *View, cfg Config) (*Plan, error)
+}
+
+func (v *View) hostCount() int { return len(v.HostName) }
+
+// vm materializes arena slot s as a VMState.
+func (v *View) vm(s int32) VMState {
+	return VMState{Name: v.VMName[s], MemBytes: v.VMMem[s], BusyVCPUs: v.VMBusy[s], DirtyRatio: v.VMDirty[s]}
+}
+
+// AppendHost flattens one host into the view (build helper).
+func (v *View) AppendHost(h HostState) {
+	v.HostName = append(v.HostName, h.Name)
+	v.Threads = append(v.Threads, h.Threads)
+	v.MemCap = append(v.MemCap, h.MemBytes)
+	v.IdlePower = append(v.IdlePower, h.IdlePower)
+	v.Down = append(v.Down, h.Down)
+	v.VMStart = append(v.VMStart, int32(len(v.VMName)))
+	v.VMCount = append(v.VMCount, int32(len(h.VMs)))
+	busy := 0.0
+	var mem units.Bytes
+	for _, g := range h.VMs {
+		v.VMName = append(v.VMName, g.Name)
+		v.VMMem = append(v.VMMem, g.MemBytes)
+		v.VMBusy = append(v.VMBusy, g.BusyVCPUs)
+		v.VMDirty = append(v.VMDirty, g.DirtyRatio)
+		busy += g.BusyVCPUs
+		mem += g.MemBytes
+	}
+	v.Busy = append(v.Busy, busy)
+	v.Mem = append(v.Mem, mem)
+}
+
+// SortOrder (re)builds Order ascending by (Busy, HostName).
+func (v *View) SortOrder() {
+	v.Order = v.Order[:0]
+	for i := range v.HostName {
+		v.Order = append(v.Order, int32(i))
+	}
+	sort.Slice(v.Order, func(a, b int) bool {
+		i, j := v.Order[a], v.Order[b]
+		if v.Busy[i] != v.Busy[j] {
+			return v.Busy[i] < v.Busy[j]
+		}
+		return v.HostName[i] < v.HostName[j]
+	})
+}
+
+// NewView flattens an AoS host list into a fresh View. The input is
+// not retained; callers with invalid hosts must validate first (the
+// legacy Plan entry points do).
+func NewView(hosts []HostState) *View {
+	v := &View{}
+	nameOrdered := true
+	for i, h := range hosts {
+		v.AppendHost(h)
+		if i > 0 && hosts[i-1].Name >= h.Name {
+			nameOrdered = false
+		}
+	}
+	v.NameOrdered = nameOrdered
+	v.SortOrder()
+	return v
+}
+
+// vwork is one PlanView invocation's working state: mutable aggregate
+// copies over a read-only View, with per-host VM lists materialized
+// lazily — only hosts a plan actually mutates ever copy their slots.
+type vwork struct {
+	v    *View
+	busy []float64
+	mem  []units.Bytes
+	cnt  []int32
+	// vms holds the materialized VM list of every mutated host; nil
+	// means the arena range is still current.
+	vms [][]VMState
+	// touched lists hosts whose aggregates differ from the snapshot
+	// (evacuation targets and sources, drain commits); the order-indexed
+	// target scan must price them individually instead of trusting the
+	// snapshot order.
+	touched     []int32
+	touchedMark []bool
+	received    []bool
+}
+
+func newVwork(v *View) *vwork {
+	n := v.hostCount()
+	w := &vwork{
+		v:           v,
+		busy:        append([]float64(nil), v.Busy...),
+		mem:         append([]units.Bytes(nil), v.Mem...),
+		cnt:         append([]int32(nil), v.VMCount...),
+		vms:         make([][]VMState, n),
+		touchedMark: make([]bool, n),
+		received:    make([]bool, n),
+	}
+	return w
+}
+
+// touch marks host i as diverged from the snapshot.
+func (w *vwork) touch(i int32) {
+	if !w.touchedMark[i] {
+		w.touchedMark[i] = true
+		w.touched = append(w.touched, i)
+	}
+}
+
+// vmsOf returns host i's current VM list, materializing it from the
+// arena on first call. Mutation paths only.
+func (w *vwork) vmsOf(i int32) []VMState {
+	if w.vms[i] == nil {
+		s, n := w.v.VMStart[i], w.v.VMCount[i]
+		out := make([]VMState, 0, n)
+		for k := s; k < s+n; k++ {
+			out = append(out, w.v.vm(k))
+		}
+		w.vms[i] = out
+	}
+	return w.vms[i]
+}
+
+// appendVMs copies host i's current VM list into dst without
+// materializing an overlay.
+func (w *vwork) appendVMs(dst []VMState, i int32) []VMState {
+	if l := w.vms[i]; l != nil {
+		return append(dst, l...)
+	}
+	s, n := w.v.VMStart[i], w.v.VMCount[i]
+	for k := s; k < s+n; k++ {
+		dst = append(dst, w.v.vm(k))
+	}
+	return dst
+}
+
+// hostHasPinned reports whether any of host i's VMs is pinned, without
+// materializing.
+func (w *vwork) hostHasPinned(i int32, pinned map[string]bool) bool {
+	if len(pinned) == 0 {
+		return false
+	}
+	if l := w.vms[i]; l != nil {
+		for _, g := range l {
+			if pinned[g.Name] {
+				return true
+			}
+		}
+		return false
+	}
+	s, n := w.v.VMStart[i], w.v.VMCount[i]
+	for k := s; k < s+n; k++ {
+		if pinned[w.v.VMName[k]] {
+			return true
+		}
+	}
+	return false
+}
+
+// removeVM detaches a named VM from host i, preserving order.
+func (w *vwork) removeVM(i int32, name string) (VMState, bool) {
+	l := w.vmsOf(i)
+	g, ok := removeVMSlice(&l, name)
+	if !ok {
+		return VMState{}, false
+	}
+	w.vms[i] = l
+	w.cnt[i] = int32(len(l))
+	w.touch(i)
+	w.recompute(i)
+	return g, true
+}
+
+// addVM appends a VM to host i.
+func (w *vwork) addVM(i int32, g VMState) {
+	w.vms[i] = append(w.vmsOf(i), g)
+	w.cnt[i] = int32(len(w.vms[i]))
+	w.touch(i)
+	w.recompute(i)
+}
+
+// recompute refreshes host i's aggregates by re-summing its current VM
+// list in order (see the View invariant).
+func (w *vwork) recompute(i int32) {
+	busy := 0.0
+	var mem units.Bytes
+	for _, g := range w.vmsOf(i) {
+		busy += g.BusyVCPUs
+		mem += g.MemBytes
+	}
+	w.busy[i], w.mem[i] = busy, mem
+}
+
+// finishPlan computes the plan's aggregate fields from the working
+// state, exactly as finishPlan does for the AoS path.
+func (w *vwork) finishPlan(plan *Plan) {
+	for i := range w.cnt {
+		if w.cnt[i] == 0 && !w.v.Down[i] {
+			plan.FreedHosts = append(plan.FreedHosts, w.v.HostName[i])
+			plan.IdleSavings += w.v.IdlePower[i]
+		}
+	}
+	sort.Strings(plan.FreedHosts)
+	for _, m := range plan.Moves {
+		plan.MigrationEnergy += m.Cost.Energy
+	}
+}

@@ -58,6 +58,9 @@ func (s *Spec) validateFleetGroups() error {
 	name := s.Name
 	cat := hw.Catalog()
 	seen := make(map[string]int, len(s.Cluster.Fleet))
+	// Total-population bound, summed in int64 so absurd per-group counts
+	// cannot wrap the check they are being checked against.
+	total := int64(len(s.Cluster.Hosts))
 	for gi, g := range s.Cluster.Fleet {
 		path := fmt.Sprintf("cluster.fleet[%d]", gi)
 		if !validName(g.Name) {
@@ -69,6 +72,10 @@ func (s *Spec) validateFleetGroups() error {
 		seen[g.Name] = gi
 		if g.Count < 1 || g.Count > MaxFleetReplicas {
 			return errf(name, path+".count", "must be 1..%d, got %d", MaxFleetReplicas, g.Count)
+		}
+		total += int64(g.Count)
+		if total > MaxFleetHosts {
+			return errf(name, path+".count", "cluster exceeds %d hosts in total (group %q brings it to %d)", MaxFleetHosts, g.Name, total)
 		}
 		if _, ok := cat[g.Machine]; !ok {
 			models := make([]string, 0, len(cat))

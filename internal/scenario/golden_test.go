@@ -91,12 +91,42 @@ type goldenCluster struct {
 	FleetEnergyJ          float64             `json:"fleet_energy_j,omitempty"`
 }
 
+// Fleet-scale golden thresholds: clusters at or above summaryOnlyHosts
+// pin summary aggregates only (per-move records at 8k–100k hosts would
+// balloon golden.json without adding regression power beyond what the
+// scheduler-equivalence and determinism properties already give); at or
+// above raceSkipHosts the scenario is skipped under the race detector,
+// whose instrumentation multiplies the wall-clock far past the suite's
+// budget.
+const (
+	summaryOnlyHosts = 4096
+	raceSkipHosts    = 32768
+)
+
+// goldenFleetSummary pins one fleet-scale cluster timeline by its
+// summary aggregates: final energy, makespan, move and freed-host
+// counts, peak concurrent flights and re-plan rounds.
+type goldenFleetSummary struct {
+	TotalJ       float64 `json:"total_j"`
+	MakespanS    float64 `json:"makespan_s"`
+	Moves        int     `json:"moves"`
+	Freed        int     `json:"freed"`
+	PeakFlights  int     `json:"peak_flights"`
+	ReplanRounds int     `json:"replan_rounds"`
+}
+
 // golden pins the whole library: block label -> outcome, scenario name ->
-// executed moves, scenario name -> cluster timeline.
+// executed moves, scenario name -> cluster timeline (summary-only for
+// fleet-scale clusters).
 type golden struct {
-	Blocks   map[string]goldenBlock   `json:"blocks"`
-	Moves    map[string][]goldenMove  `json:"moves"`
-	Clusters map[string]goldenCluster `json:"clusters,omitempty"`
+	Blocks   map[string]goldenBlock        `json:"blocks"`
+	Moves    map[string][]goldenMove       `json:"moves"`
+	Clusters map[string]goldenCluster      `json:"clusters,omitempty"`
+	Fleets   map[string]goldenFleetSummary `json:"fleets,omitempty"`
+
+	// raceSkipped names the fleet scenarios this run skipped under the
+	// race detector; comparison must not flag them as missing.
+	raceSkipped map[string]bool
 }
 
 // runLibrary executes every committed scenario with a shared cache and
@@ -111,18 +141,40 @@ func runLibrary(t *testing.T) *golden {
 		t.Fatalf("library has %d scenarios, the tentpole demands >= 10", len(specs))
 	}
 	cache := sim.NewCache(0)
-	out := &golden{Blocks: map[string]goldenBlock{}, Moves: map[string][]goldenMove{}, Clusters: map[string]goldenCluster{}}
+	out := &golden{
+		Blocks:      map[string]goldenBlock{},
+		Moves:       map[string][]goldenMove{},
+		Clusters:    map[string]goldenCluster{},
+		Fleets:      map[string]goldenFleetSummary{},
+		raceSkipped: map[string]bool{},
+	}
 	for _, s := range specs {
 		c, err := s.Compile()
 		if err != nil {
 			t.Fatalf("compiling %s: %v", s.Name, err)
 		}
 		if c.Cluster != nil {
+			n := s.Cluster.hostCount()
+			if raceEnabled && n >= raceSkipHosts {
+				out.raceSkipped[s.Name] = true
+				continue
+			}
 			cfg := c.Cluster.Config
 			cfg.Cache = cache
 			rep, err := cluster.Run(cfg)
 			if err != nil {
 				t.Fatalf("running cluster %s: %v", s.Name, err)
+			}
+			if n >= summaryOnlyHosts {
+				out.Fleets[s.Name] = goldenFleetSummary{
+					TotalJ:       float64(rep.TotalEnergy),
+					MakespanS:    rep.Makespan.Seconds(),
+					Moves:        len(rep.Timeline),
+					Freed:        len(rep.FreedHosts),
+					PeakFlights:  rep.PeakFlights,
+					ReplanRounds: rep.ReplanRounds,
+				}
+				continue
 			}
 			gc := goldenCluster{
 				TotalJ:       float64(rep.TotalEnergy),
@@ -201,6 +253,9 @@ func TestLibraryGolden(t *testing.T) {
 	path := filepath.Join("testdata", "golden.json")
 
 	if *updateGolden {
+		if raceEnabled {
+			t.Fatal("-update under -race would drop the race-skipped fleet scenarios; regenerate without -race")
+		}
 		b, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -278,6 +333,24 @@ func TestLibraryGolden(t *testing.T) {
 	for name := range got.Clusters {
 		if _, ok := want.Clusters[name]; !ok {
 			t.Errorf("new cluster %q not in golden file; run -update", name)
+		}
+	}
+	for name, fs := range want.Fleets {
+		if got.raceSkipped[name] {
+			continue
+		}
+		g, ok := got.Fleets[name]
+		if !ok {
+			t.Errorf("fleet %q in golden file but not produced", name)
+			continue
+		}
+		if g != fs {
+			t.Errorf("fleet %q drifted:\n  got  %+v\n  want %+v", name, g, fs)
+		}
+	}
+	for name := range got.Fleets {
+		if _, ok := want.Fleets[name]; !ok {
+			t.Errorf("new fleet %q not in golden file; run -update", name)
 		}
 	}
 }

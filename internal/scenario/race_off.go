@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector instruments this build;
+// the golden library run skips the 100k-host fleet scenarios under
+// instrumentation because the detector multiplies their wall-clock far
+// past the suite's budget.
+const raceEnabled = false

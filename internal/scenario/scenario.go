@@ -445,8 +445,16 @@ type FailureSpec struct {
 }
 
 // MaxFleetReplicas bounds one fleet group's Count: a typoed count must
-// not quietly ask for a million-host timeline.
-const MaxFleetReplicas = 4096
+// not quietly ask for a million-host timeline. Sized for 100k-host
+// fleet scenarios (the engine's struct-of-arrays planner handles them
+// in seconds); MaxFleetHosts bounds the expanded total.
+const MaxFleetReplicas = 131072
+
+// MaxFleetHosts bounds the expanded cluster population — explicit
+// hosts plus every fleet replica across all groups. Group counts are
+// individually capped, but many groups must not compound into a
+// timeline no machine can hold.
+const MaxFleetHosts = 131072
 
 // FleetGroupSpec is one host-group template of a cluster fleet. Every
 // replica i (0-based) gets host name "<name>-NNNN" and VM names
