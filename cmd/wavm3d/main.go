@@ -20,9 +20,15 @@
 // With -cache-dir the run cache gains a persistent tier: completed
 // simulations are published as checksummed artefacts in that directory
 // and answered from disk on later runs — by this daemon, other
-// replicas sharing the directory, or the CLIs. /healthz reports the
-// cache counters (kernel_runs, disk_hits, quarantined, …), so a warm
-// replica can be observed serving without executing a single kernel.
+// replicas sharing the directory, or the CLIs. The tier sits behind a
+// resilience policy (per-op timeouts, retries, a circuit breaker that
+// degrades the daemon to memory-only while the store is sick — see the
+// -cache-op-timeout/-cache-retries/-cache-breaker flags), publishes
+// asynchronously, and flushes queued publishes during the SIGTERM
+// drain. /healthz reports the cache counters (kernel_runs, disk_hits,
+// quarantined, breaker_state, …), so a warm replica can be observed
+// serving without executing a single kernel, and a replica riding out
+// a store outage can be observed doing so without a failed request.
 //
 // Usage:
 //

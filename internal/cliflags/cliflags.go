@@ -1,5 +1,7 @@
 // Package cliflags wires the simulation-driving flags every command
-// shares — -workers, -nocache, -cache-dir, -benchjson, -timeout,
+// shares — -workers, -nocache, -cache-dir, -cache-backend, the store
+// resilience knobs (-cache-op-timeout, -cache-retries, -cache-breaker,
+// -cache-breaker-cooldown, -cache-chaos), -benchjson, -timeout,
 // -cpuprofile and -memprofile — so the binaries stay in flag parity by
 // construction instead of by copy-paste. A command registers the common
 // set next to its own flags, builds the session cache and execution
@@ -42,6 +44,28 @@ type Common struct {
 	// sessions: a warm dir answers every cacheable kernel run from disk
 	// with bit-identical results.
 	CacheDir string
+	// CacheBackend selects the persistent store layout under -cache-dir:
+	// "dir" (flock-locked directory tree, cross-process singleflight) or
+	// "obj" (lockless object-store semantics — owner-wins conditional
+	// puts, no locking, the S3 shape).
+	CacheBackend string
+	// CacheOpTimeout bounds one persistent-store Get/Put/Quarantine so a
+	// hung store cannot stall a kernel run past it. 0 disables the bound.
+	CacheOpTimeout time.Duration
+	// CacheRetries is how many times a failed store op is re-attempted
+	// with decorrelated-jitter backoff before being survived as a miss.
+	CacheRetries int
+	// CacheBreaker opens the store circuit breaker after this many
+	// consecutive failures, running the cache memory-only until a
+	// half-open probe finds the store healed. 0 disables the breaker.
+	CacheBreaker int
+	// CacheBreakerCooldown is how long the breaker stays open before
+	// probing.
+	CacheBreakerCooldown time.Duration
+	// CacheChaos, when non-empty, wraps the store in a deterministic
+	// fault injector (sim.ParseFaultSpec syntax) — the hostile-store
+	// test harness, not a production knob.
+	CacheChaos string
 	// BenchJSON, when non-empty, is where the machine-readable timing
 	// and cache metrics go.
 	BenchJSON string
@@ -65,6 +89,12 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Workers, "workers", 0, "concurrent simulations (0 = all CPUs, 1 = sequential; results identical)")
 	fs.BoolVar(&c.NoCache, "nocache", false, "disable the run cache (results identical, only slower)")
 	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist run artefacts in this directory (created if missing; shareable across processes; results identical)")
+	fs.StringVar(&c.CacheBackend, "cache-backend", "dir", "persistent store layout under -cache-dir: dir (flock singleflight) or obj (lockless object-store semantics)")
+	fs.DurationVar(&c.CacheOpTimeout, "cache-op-timeout", 2*time.Second, "bound one persistent-store operation (0 = unbounded); a slower store degrades to misses, never stalls")
+	fs.IntVar(&c.CacheRetries, "cache-retries", 2, "re-attempts per failed store operation, with jittered backoff (0 = no retries)")
+	fs.IntVar(&c.CacheBreaker, "cache-breaker", 5, "consecutive store failures that open the circuit breaker and degrade the cache to memory-only (0 = no breaker)")
+	fs.DurationVar(&c.CacheBreakerCooldown, "cache-breaker-cooldown", time.Second, "how long the open breaker waits before half-open probing the store")
+	fs.StringVar(&c.CacheChaos, "cache-chaos", "", "inject deterministic store faults, e.g. 'seed=7,err=0.3,torn=0.1,latency=1ms,for=2s' (test harness; results stay identical)")
 	fs.StringVar(&c.BenchJSON, "benchjson", "", "write machine-readable timing and cache metrics to this path")
 	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the session after this wall-clock span (e.g. 90s, 5m; 0 = unbounded; exit code 3 on expiry)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the session to this path")
@@ -139,7 +169,14 @@ func IsDeadline(err error) bool {
 // Cache builds the session run cache: nil when -nocache was given
 // (uncached execution), a memory-only cache by default, and a cache
 // backed by the persistent artefact directory when -cache-dir was
-// given. The error is an unusable -cache-dir.
+// given. Persistent stores are always wrapped in the resilience policy
+// (timeouts, retries, breaker, async publishes) configured by the
+// cache-* flags, and optionally in the -cache-chaos fault injector
+// beneath it. The error is an unusable -cache-dir or a malformed flag.
+//
+// Callers with a persistent cache must sim.Cache.Close it before
+// trusting the store's contents — Finish does this; wavm3d closes
+// through service.Shutdown.
 func (c *Common) Cache() (*sim.Cache, error) {
 	if c.NoCache {
 		return nil, nil
@@ -147,11 +184,48 @@ func (c *Common) Cache() (*sim.Cache, error) {
 	if c.CacheDir == "" {
 		return sim.NewCache(0), nil
 	}
-	store, err := sim.NewDirStore(c.CacheDir)
+	var store sim.CacheStore
+	var err error
+	switch c.CacheBackend {
+	case "", "dir":
+		store, err = sim.NewDirStore(c.CacheDir)
+	case "obj":
+		store, err = sim.NewObjStore(c.CacheDir)
+	default:
+		return nil, fmt.Errorf("cliflags: -cache-backend %q: want dir or obj", c.CacheBackend)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewCacheWithStore(0, store), nil
+	if c.CacheChaos != "" {
+		cfg, err := sim.ParseFaultSpec(c.CacheChaos)
+		if err != nil {
+			return nil, fmt.Errorf("cliflags: -cache-chaos: %w", err)
+		}
+		store = sim.NewFaultStore(store, cfg)
+	}
+	// Flag zero means "mechanism off", which the config spells as a
+	// negative (its own zero selects the defaults).
+	disabled := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return -1
+		}
+		return d
+	}
+	rc := sim.ResilienceConfig{
+		OpTimeout:        disabled(c.CacheOpTimeout),
+		Retries:          c.CacheRetries,
+		BreakerThreshold: c.CacheBreaker,
+		BreakerCooldown:  c.CacheBreakerCooldown,
+		AsyncPublish:     true,
+	}
+	if rc.Retries <= 0 {
+		rc.Retries = -1
+	}
+	if rc.BreakerThreshold <= 0 {
+		rc.BreakerThreshold = -1
+	}
+	return sim.NewCacheWithStore(0, sim.NewResilientStore(store, rc)), nil
 }
 
 // NewBenchReport starts a benchmark report for the named tool with the
@@ -162,11 +236,18 @@ func (c *Common) NewBenchReport(tool string) *report.BenchReport {
 	return perf
 }
 
-// Finish seals a benchmark report — total wall clock since started,
-// the cache's hit/miss/entry counters — then logs the cache statistics
-// to w (when a cache was in use) and writes the report to -benchjson
-// (when requested). The returned error is a benchjson write failure.
+// Finish seals a benchmark report — it first closes the cache's
+// persistent tier (draining async artefact publishes so the store is
+// complete before anything reads it), then records total wall clock
+// since started and the cache's counters, logs the cache statistics to
+// w (when a cache was in use) and writes the report to -benchjson
+// (when requested). The returned error is a benchjson write failure; a
+// publish-drain failure is logged and survived, consistent with the
+// store tier's degrade-never-fail contract.
 func (c *Common) Finish(w io.Writer, perf *report.BenchReport, cache *sim.Cache, started time.Time) error {
+	if err := cache.Close(); err != nil {
+		fmt.Fprintf(w, "%s: cache store close: %v\n", perf.Tool, err)
+	}
 	perf.TotalSeconds = time.Since(started).Seconds()
 	stats := cache.Snapshot()
 	perf.CacheHits, perf.CacheMisses = stats.Hits, stats.Misses
@@ -175,6 +256,12 @@ func (c *Common) Finish(w io.Writer, perf *report.BenchReport, cache *sim.Cache,
 	if cache.Persistent() {
 		perf.DiskHits, perf.DiskMisses = stats.DiskHits, stats.DiskMisses
 		perf.Quarantined = stats.Quarantined
+		perf.StoreErrors = stats.StoreErrors
+		perf.StoreRetries = stats.Retries
+		perf.StoreTimeouts = stats.Timeouts
+		perf.BreakerOpens = stats.BreakerOpens
+		perf.BreakerState = stats.BreakerState
+		perf.PublishDrops = stats.PublishDrops
 	}
 	if cache != nil {
 		fmt.Fprintf(w, "%s: run cache: %d hits, %d misses, %d entries, %d kernel runs\n",
@@ -182,6 +269,8 @@ func (c *Common) Finish(w io.Writer, perf *report.BenchReport, cache *sim.Cache,
 		if cache.Persistent() {
 			fmt.Fprintf(w, "%s: cache dir: %d disk hits, %d disk misses, %d quarantined\n",
 				perf.Tool, stats.DiskHits, stats.DiskMisses, stats.Quarantined)
+			fmt.Fprintf(w, "%s: store policy: %d errors, %d retries, %d timeouts, %d breaker opens (%s), %d publish drops\n",
+				perf.Tool, stats.StoreErrors, stats.Retries, stats.Timeouts, stats.BreakerOpens, stats.BreakerState, stats.PublishDrops)
 		}
 	}
 	if c.BenchJSON == "" {

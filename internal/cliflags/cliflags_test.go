@@ -10,7 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/migration"
 	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func TestRegisterParses(t *testing.T) {
@@ -109,5 +112,100 @@ func TestFinishNilCacheSilent(t *testing.T) {
 	}
 	if strings.Contains(log.String(), "run cache") {
 		t.Errorf("nil cache logged stats: %q", log.String())
+	}
+}
+
+func TestResilienceFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	err := fs.Parse([]string{
+		"-cache-backend", "obj",
+		"-cache-op-timeout", "500ms",
+		"-cache-retries", "1",
+		"-cache-breaker", "3",
+		"-cache-breaker-cooldown", "200ms",
+		"-cache-chaos", "seed=7,err=0.3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheBackend != "obj" || c.CacheOpTimeout != 500*time.Millisecond ||
+		c.CacheRetries != 1 || c.CacheBreaker != 3 ||
+		c.CacheBreakerCooldown != 200*time.Millisecond || c.CacheChaos != "seed=7,err=0.3" {
+		t.Errorf("parsed %+v", c)
+	}
+}
+
+func TestCacheBackendObj(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	dir := filepath.Join(t.TempDir(), "objcache")
+	if err := fs.Parse([]string{"-cache-dir", dir, "-cache-backend", "obj"}); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := c.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cache.Persistent() {
+		t.Error("-cache-backend obj must still yield a persistent cache")
+	}
+	if err := cache.Close(); err != nil {
+		t.Errorf("closing the obj-backed cache: %v", err)
+	}
+
+	c.CacheBackend = "bogus"
+	if _, err := c.Cache(); err == nil {
+		t.Error("an unknown -cache-backend must error")
+	}
+}
+
+func TestCacheChaosSpecValidated(t *testing.T) {
+	c := &Common{CacheDir: filepath.Join(t.TempDir(), "cc"), CacheChaos: "err=2"}
+	if _, err := c.Cache(); err == nil {
+		t.Error("an out-of-range -cache-chaos rate must error")
+	}
+	c.CacheChaos = "nonsense"
+	if _, err := c.Cache(); err == nil {
+		t.Error("a malformed -cache-chaos spec must error")
+	}
+}
+
+// TestFinishFlushesAsyncPublishes is the reason Finish closes the cache:
+// artefacts published asynchronously during the session must be on disk
+// by the time Finish returns (the CI cold→warm gate depends on it), and
+// the resilience counters must appear in the benchjson.
+func TestFinishFlushesAsyncPublishes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runcache")
+	c := &Common{CacheDir: dir, CacheRetries: 2, CacheBreaker: 5,
+		CacheOpTimeout: 2 * time.Second, CacheBreakerCooldown: time.Second,
+		BenchJSON: filepath.Join(t.TempDir(), "perf.json")}
+	cache, err := c.Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Run(sim.Scenario{Kind: migration.NonLive, MigratingProfile: workload.IdleProfile(), Seed: 77}); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	if err := c.Finish(&log, c.NewBenchReport("t"), cache, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("%d artefacts on disk after Finish, want 1 (async publish not drained)", len(arts))
+	}
+	if !strings.Contains(log.String(), "store policy:") {
+		t.Errorf("store policy line not logged: %q", log.String())
+	}
+	got, err := report.ReadBenchReport(c.BenchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BreakerState != "closed" || got.KernelRuns != 1 {
+		t.Errorf("benchjson resilience fields: %+v", got)
 	}
 }

@@ -102,6 +102,17 @@ type BenchReport struct {
 	DiskMisses  uint64 `json:"disk_misses,omitempty"`
 	KernelRuns  uint64 `json:"kernel_runs"`
 	Quarantined uint64 `json:"quarantined_artefacts,omitempty"`
+	// Store resilience counters (omitted for memory-only sessions):
+	// store ops that failed and were survived, re-attempts, per-op bound
+	// hits, circuit-breaker trips with the breaker's end-of-session
+	// state, and async publishes shed past the budget. The CI
+	// hostile-store smoke jq-gates these.
+	StoreErrors   uint64 `json:"store_errors,omitempty"`
+	StoreRetries  uint64 `json:"store_retries,omitempty"`
+	StoreTimeouts uint64 `json:"store_timeouts,omitempty"`
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
+	BreakerState  string `json:"breaker_state,omitempty"`
+	PublishDrops  uint64 `json:"publish_drops,omitempty"`
 	// TotalSeconds is the whole session's wall-clock time.
 	TotalSeconds float64 `json:"total_seconds"`
 }

@@ -44,6 +44,15 @@ type cacheStatus struct {
 	DiskMisses  uint64 `json:"disk_misses,omitempty"`
 	Quarantined uint64 `json:"quarantined,omitempty"`
 	StoreErrors uint64 `json:"store_errors,omitempty"`
+	// Store resilience counters: retries/timeouts of store ops, breaker
+	// trips and current breaker state ("open" means the persistent tier
+	// is sick and the daemon is serving memory-only — degraded, correct),
+	// async publishes shed past the budget.
+	StoreRetries  uint64 `json:"store_retries,omitempty"`
+	StoreTimeouts uint64 `json:"store_timeouts,omitempty"`
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
+	BreakerState  string `json:"breaker_state,omitempty"`
+	PublishDrops  uint64 `json:"publish_drops,omitempty"`
 }
 
 // healthStatus is the GET /healthz payload.
@@ -66,6 +75,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			KernelRuns: st.KernelRuns, Persistent: c.Persistent(),
 			DiskHits: st.DiskHits, DiskMisses: st.DiskMisses,
 			Quarantined: st.Quarantined, StoreErrors: st.StoreErrors,
+			StoreRetries: st.Retries, StoreTimeouts: st.Timeouts,
+			BreakerOpens: st.BreakerOpens, BreakerState: st.BreakerState,
+			PublishDrops: st.PublishDrops,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -181,9 +181,17 @@ func (s *Server) isDraining() bool {
 // new runs answer 503 immediately), let in-flight runs finish for up to
 // drain, then cancel the stragglers and wait for them to unwind — a
 // bounded wait, because the compute core observes cancellation at every
-// event-loop iteration. The return is nil for both the clean and the
+// event-loop iteration. The cache's persistent tier is closed last
+// (after the HTTP wind-down), flushing any asynchronously queued
+// artefact publishes so a SIGTERM never strands completed work in
+// memory. The return is nil for both the clean and the
 // cancelled-stragglers outcome; SIGTERM always exits 0.
 func (s *Server) Shutdown(drain time.Duration) error {
+	defer func() {
+		if err := s.cfg.Cache.Close(); err != nil {
+			s.cfg.Logger.Printf("service: cache store close: %v", err)
+		}
+	}()
 	select {
 	case <-s.draining:
 	default:

@@ -60,27 +60,44 @@ type Cache struct {
 // executed — the number a warm, intact cache drives to zero; Quarantined
 // counts corrupt artefacts moved aside; StoreErrors counts store I/O
 // failures survived by degrading to uncached behaviour.
+//
+// When the store is wrapped in a ResilientStore the policy counters are
+// merged in: Retries/Timeouts count re-attempted and bound-exceeded
+// store ops, BreakerOpens counts circuit-breaker trips, PublishDrops
+// counts async publishes shed past the budget, and BreakerState is the
+// breaker's current state ("closed" when no breaker is configured).
 type CacheStats struct {
 	Hits, Misses         uint64
 	DiskHits, DiskMisses uint64
 	KernelRuns           uint64
 	Quarantined          uint64
 	StoreErrors          uint64
+	Retries              uint64
+	Timeouts             uint64
+	BreakerOpens         uint64
+	PublishDrops         uint64
+	BreakerState         string
 	Entries              int
 }
 
-// Delta returns the counter movement from prev to s (Entries is carried
-// from s unchanged) — the per-artefact attribution wavm3scen records.
+// Delta returns the counter movement from prev to s (Entries and
+// BreakerState are carried from s unchanged) — the per-artefact
+// attribution wavm3scen records.
 func (s CacheStats) Delta(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:        s.Hits - prev.Hits,
-		Misses:      s.Misses - prev.Misses,
-		DiskHits:    s.DiskHits - prev.DiskHits,
-		DiskMisses:  s.DiskMisses - prev.DiskMisses,
-		KernelRuns:  s.KernelRuns - prev.KernelRuns,
-		Quarantined: s.Quarantined - prev.Quarantined,
-		StoreErrors: s.StoreErrors - prev.StoreErrors,
-		Entries:     s.Entries,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		DiskHits:     s.DiskHits - prev.DiskHits,
+		DiskMisses:   s.DiskMisses - prev.DiskMisses,
+		KernelRuns:   s.KernelRuns - prev.KernelRuns,
+		Quarantined:  s.Quarantined - prev.Quarantined,
+		StoreErrors:  s.StoreErrors - prev.StoreErrors,
+		Retries:      s.Retries - prev.Retries,
+		Timeouts:     s.Timeouts - prev.Timeouts,
+		BreakerOpens: s.BreakerOpens - prev.BreakerOpens,
+		PublishDrops: s.PublishDrops - prev.PublishDrops,
+		BreakerState: s.BreakerState,
+		Entries:      s.Entries,
 	}
 }
 
@@ -259,9 +276,12 @@ func (c *Cache) compute(ctx context.Context, sc, key Scenario) (*RunResult, erro
 }
 
 // loadArtefact reads and fully verifies one artefact, returning nil on
-// any miss. Decode failures — truncation, bit-rot, stale version, wrong
-// key — quarantine the file so the subsequent kernel rerun can publish
-// a good artefact under the same name.
+// any miss. A decode failure is re-probed once — a hostile or non-atomic
+// store can tear a single read, and re-reading distinguishes a transient
+// tear from a genuinely rotten file. Persistent decode failures —
+// truncation, bit-rot, stale version, wrong key — quarantine the file so
+// the subsequent kernel rerun can publish a good artefact under the same
+// name.
 func (c *Cache) loadArtefact(name string, keyBytes []byte, hash [sha256.Size]byte) *RunResult {
 	data, err := c.store.Get(name)
 	if err != nil {
@@ -272,6 +292,11 @@ func (c *Cache) loadArtefact(name string, keyBytes []byte, hash [sha256.Size]byt
 	}
 	res, err := decodeArtefact(data, keyBytes, hash)
 	if err != nil {
+		if data2, gerr := c.store.Get(name); gerr == nil {
+			if res2, derr := decodeArtefact(data2, keyBytes, hash); derr == nil {
+				return res2
+			}
+		}
 		c.quarantined.Add(1)
 		reason := reasonMalformed
 		var aerr *artefactError
@@ -354,7 +379,29 @@ func (c *Cache) Snapshot() CacheStats {
 	s.KernelRuns = c.kernelRuns.Load()
 	s.Quarantined = c.quarantined.Load()
 	s.StoreErrors = c.storeErrors.Load()
+	if rep, ok := c.store.(interface{ ResilienceStats() ResilienceStats }); ok {
+		r := rep.ResilienceStats()
+		s.Retries = r.Retries
+		s.Timeouts = r.Timeouts
+		s.BreakerOpens = r.BreakerOpens
+		s.PublishDrops = r.PublishDrops
+		s.BreakerState = r.BreakerState
+	}
 	return s
+}
+
+// Close flushes and closes the persistent tier when it supports closing
+// (a ResilientStore drains its async publishes here). Nil-safe and
+// idempotent; memory-only caches close as a no-op. Callers that publish
+// asynchronously must Close before trusting the store's contents.
+func (c *Cache) Close() error {
+	if c == nil || c.store == nil {
+		return nil
+	}
+	if cl, ok := c.store.(interface{ Close() error }); ok {
+		return cl.Close()
+	}
+	return nil
 }
 
 // Clear empties the memory tier, keeping the bound, the statistics and

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/migration"
 	"repro/internal/workload"
@@ -221,3 +223,94 @@ type failingStore struct{}
 func (failingStore) Get(string) ([]byte, error)      { return nil, ErrArtefactNotFound }
 func (failingStore) Put(string, []byte) error        { return errors.New("disk full") }
 func (failingStore) Quarantine(string, string) error { return errors.New("disk full") }
+
+// TestDirStoreQuarantineRecreatesDir asserts quarantine/ removed at
+// runtime (an operator cleanup, a tmp reaper) is recreated on demand —
+// without that, every future corruption would fail its quarantine and
+// re-read the same bad file forever.
+func TestDirStoreQuarantineRecreatesDir(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("a.v1.run", []byte("rotten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(store.Dir(), quarantineDir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Quarantine("a.v1.run", "checksum"); err != nil {
+		t.Fatalf("quarantine with a missing quarantine/ dir: %v", err)
+	}
+	if _, err := store.Get("a.v1.run"); !errors.Is(err, ErrArtefactNotFound) {
+		t.Errorf("quarantined artefact still readable: %v", err)
+	}
+	q, err := os.ReadFile(filepath.Join(store.Dir(), quarantineDir, "a.v1.run.checksum"))
+	if err != nil || string(q) != "rotten" {
+		t.Errorf("quarantined file = %q, %v; want the original preserved", q, err)
+	}
+}
+
+// TestDirStoreLockDeadlineFallsBackToOwnerWins wedges an artefact's lock
+// file from a second file descriptor (modelling a leaked flock / dead
+// NFS handle) and asserts (a) Lock gives up at its deadline with an
+// error distinct from the caller's context, and (b) a cache over that
+// store still completes the run — owner-wins, with the lock trouble
+// counted as a store error.
+func TestDirStoreLockDeadlineFallsBackToOwnerWins(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.LockDeadline = 40 * time.Millisecond
+
+	sc := diskScenario(9)
+	keyBytes := encodeCacheKey(cacheKey(sc))
+	hash := sha256.Sum256(keyBytes)
+	name := artefactName(hash)
+
+	// Wedge: hold the flock on this artefact's lock file via a separate
+	// descriptor for the whole test (flock is per open file description,
+	// so the same process can contend with itself).
+	wedge, err := os.OpenFile(filepath.Join(dir, name+".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedge.Close()
+	if held, err := flockTry(wedge); err != nil || !held {
+		t.Fatalf("wedging flock = %v, %v; want held", held, err)
+	}
+
+	start := time.Now()
+	_, lerr := store.Lock(context.Background(), name)
+	elapsed := time.Since(start)
+	if !errors.Is(lerr, errLockWedged) {
+		t.Fatalf("wedged Lock error = %v, want errLockWedged", lerr)
+	}
+	if elapsed < store.LockDeadline || elapsed > 100*store.LockDeadline {
+		t.Errorf("wedged Lock took %v, want about the %v deadline", elapsed, store.LockDeadline)
+	}
+
+	// The cache-level story: the wedged lock degrades to owner-wins and
+	// the run completes bit-identically.
+	want, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCacheWithStore(0, store)
+	got, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("run with a wedged lock: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("wedged-lock result differs from the uncached reference")
+	}
+	if st := c.Snapshot(); st.KernelRuns != 1 || st.StoreErrors == 0 {
+		t.Errorf("stats = %+v, want 1 kernel run with the lock failure counted", st)
+	}
+	// The artefact still published despite the wedged lock.
+	if files := artefactFiles(t, dir); len(files) != 1 {
+		t.Errorf("%d artefacts after owner-wins publish, want 1", len(files))
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ObjStore is the lockless object-store CacheStore: a flat blob
+// namespace with S3 semantics — no CacheLocker, so the cache runs its
+// degraded cross-process singleflight (owner-wins publishing, which may
+// duplicate a kernel run across processes but never corrupts a result),
+// and Put is a conditional write (If-None-Match: the first complete
+// write of a name wins, later writers are silent no-ops; correct
+// because concurrent writers of one artefact name produce bit-identical
+// bytes by construction).
+//
+// The implementation is directory-backed so a real object store is a
+// configuration change, not a code change: every operation maps to one
+// S3 call (Get → GetObject, Put → PutObject with If-None-Match,
+// Quarantine → CopyObject + DeleteObject) and nothing relies on
+// rename atomicity within the namespace — the conditional publish is a
+// hard link of a fully synced temp file, the object-store analogue of a
+// conditional PUT.
+type ObjStore struct {
+	dir string
+}
+
+// NewObjStore opens (creating if necessary) an object-store directory.
+func NewObjStore(dir string) (*ObjStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sim: opening object store: %w", err)
+	}
+	return &ObjStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *ObjStore) Dir() string { return s.dir }
+
+// Get reads one blob.
+func (s *ObjStore) Get(name string) ([]byte, error) {
+	if err := checkArtefactName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrArtefactNotFound
+	}
+	return data, err
+}
+
+// Put publishes one blob conditionally: stage a fully synced temp file,
+// then hard-link it to the final name. The link fails with EEXIST when
+// another writer already published the name — that writer owns the
+// blob, our bytes were identical, and the Put reports success. Readers
+// only ever observe absent or complete blobs.
+func (s *ObjStore) Put(name string, data []byte) error {
+	if err := checkArtefactName(name); err != nil {
+		return err
+	}
+	tmp, err := s.stage(data)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, filepath.Join(s.dir, name)); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil // the first writer won; identical bytes, nothing to do
+		}
+		return fmt.Errorf("sim: publishing blob: %w", err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// stage writes data to a synced temp file in the store directory and
+// returns its path. The caller removes it (the hard link in Put keeps
+// the inode alive under the final name).
+func (s *ObjStore) stage(data []byte) (string, error) {
+	f, err := os.CreateTemp(s.dir, ".blob.tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("sim: staging blob: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("sim: writing blob: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("sim: syncing blob: %w", err))
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(fmt.Errorf("sim: publishing blob: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("sim: closing blob: %w", err)
+	}
+	return tmp, nil
+}
+
+// Quarantine moves a corrupt blob out of the lookup path the way an
+// object store has to: copy to the quarantine key, then delete the
+// original (there is no rename). A missing source is success — a
+// concurrent process already quarantined it.
+func (s *ObjStore) Quarantine(name, reason string) error {
+	if err := checkArtefactName(name); err != nil {
+		return err
+	}
+	src := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(src)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sim: reading blob for quarantine: %w", err)
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("sim: creating quarantine prefix: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(qdir, name+"."+reason), data, 0o644); err != nil {
+		return fmt.Errorf("sim: writing quarantined blob: %w", err)
+	}
+	if err := os.Remove(src); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("sim: deleting quarantined blob: %w", err)
+	}
+	return nil
+}
+
+var _ CacheStore = (*ObjStore)(nil)

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func newObjStore(t *testing.T) *ObjStore {
+	t.Helper()
+	s, err := NewObjStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestObjStoreBasics(t *testing.T) {
+	s := newObjStore(t)
+	if _, err := s.Get("aaaa.v1.run"); !errors.Is(err, ErrArtefactNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrArtefactNotFound", err)
+	}
+	if err := s.Put("aaaa.v1.run", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Get("aaaa.v1.run")
+	if err != nil || string(data) != "blob" {
+		t.Fatalf("Get = %q, %v; want blob", data, err)
+	}
+	// No staging litter.
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store dir holds %d entries after one Put, want 1", len(entries))
+	}
+	for _, bad := range []string{"", "quarantine", "../escape", "a/b", ".hidden"} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted, want invalid-name error", bad)
+		}
+		if _, err := s.Get(bad); err == nil || errors.Is(err, ErrArtefactNotFound) {
+			t.Errorf("Get(%q) = %v, want invalid-name error", bad, err)
+		}
+	}
+}
+
+// TestObjStorePutFirstWriterWins asserts the conditional-put semantics:
+// a second Put of an existing name is a silent no-op (its bytes are
+// identical by construction) and the first writer's blob survives.
+func TestObjStorePutFirstWriterWins(t *testing.T) {
+	s := newObjStore(t)
+	if err := s.Put("aaaa.v1.run", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("aaaa.v1.run", []byte("second")); err != nil {
+		t.Fatalf("second Put = %v, want silent no-op", err)
+	}
+	data, err := s.Get("aaaa.v1.run")
+	if err != nil || string(data) != "first" {
+		t.Fatalf("Get after racing Puts = %q, %v; want the first writer's bytes", data, err)
+	}
+}
+
+func TestObjStoreQuarantine(t *testing.T) {
+	s := newObjStore(t)
+	if err := s.Put("aaaa.v1.run", []byte("rotten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine("aaaa.v1.run", "checksum"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("aaaa.v1.run"); !errors.Is(err, ErrArtefactNotFound) {
+		t.Fatalf("Get after quarantine = %v, want ErrArtefactNotFound", err)
+	}
+	q, err := os.ReadFile(filepath.Join(s.Dir(), quarantineDir, "aaaa.v1.run.checksum"))
+	if err != nil || string(q) != "rotten" {
+		t.Fatalf("quarantined blob = %q, %v; want the original bytes preserved", q, err)
+	}
+	// Quarantining an absent name is success: someone else got there.
+	if err := s.Quarantine("aaaa.v1.run", "checksum"); err != nil {
+		t.Fatalf("second quarantine = %v, want nil", err)
+	}
+}
+
+// TestObjStoreIsLockless pins the defining property: no CacheLocker, so
+// the cache must take its degraded owner-wins path.
+func TestObjStoreIsLockless(t *testing.T) {
+	var s CacheStore = newObjStore(t)
+	if _, ok := s.(CacheLocker); ok {
+		t.Fatal("ObjStore implements CacheLocker; it must not (it models S3)")
+	}
+}
+
+// TestObjStoreDegradedSingleflight is the end-to-end proof of the
+// lockless path: two caches (two "processes") over one object store,
+// racing the same key from many goroutines. Without cross-process
+// locking the kernel may run once per cache — but never more, results
+// are bit-identical everywhere, and exactly one artefact exists after
+// the dust settles.
+func TestObjStoreDegradedSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	sc := diskScenario(21)
+	want, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newObjCache := func() *Cache {
+		store, err := NewObjStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCacheWithStore(0, store)
+	}
+	c1, c2 := newObjCache(), newObjCache()
+	var wg sync.WaitGroup
+	for _, c := range []*Cache{c1, c2} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(c *Cache) {
+				defer wg.Done()
+				got, err := c.Run(sc)
+				if err != nil {
+					t.Errorf("racing run: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("racing run differs from the uncached reference")
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+
+	runs := c1.Snapshot().KernelRuns + c2.Snapshot().KernelRuns
+	if runs < 1 || runs > 2 {
+		t.Errorf("kernel runs = %d, want 1..2 (once per cache at worst, never per request)", runs)
+	}
+	blobs, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Errorf("store holds %d artefacts, want exactly 1 (owner-wins collapsed the race)", len(blobs))
+	}
+
+	// A third, cold cache warms entirely from the blob.
+	c3 := newObjCache()
+	got, err := c3.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("warm object-store read differs from the uncached reference")
+	}
+	if st := c3.Snapshot(); st.DiskHits != 1 || st.KernelRuns != 0 {
+		t.Errorf("warm stats = %+v, want 1 disk hit, 0 kernel runs", st)
+	}
+}

@@ -1,0 +1,534 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStoreTimeout reports a store operation that exceeded its per-op
+// bound. The cache layer treats it like any other store failure —
+// degrade to a miss or a skip — but it is counted separately
+// (CacheStats.Timeouts) because a timing-out store needs different
+// operator attention than an erroring one.
+var ErrStoreTimeout = errors.New("sim: store operation timed out")
+
+// ErrBreakerOpen reports an operation rejected without touching the
+// store because the circuit breaker is open: the persistent tier has
+// failed enough consecutive times that the cache runs memory-only until
+// a half-open probe succeeds.
+var ErrBreakerOpen = errors.New("sim: store circuit breaker open")
+
+// ResilienceConfig tunes a ResilientStore. Zero values select the
+// defaults noted per field; negative values disable the mechanism where
+// that is meaningful (OpTimeout, LockTimeout, Retries, BreakerThreshold).
+type ResilienceConfig struct {
+	// OpTimeout bounds one Get/Put/Quarantine attempt (default 2s; the
+	// hot-path guarantee that no kernel run or HTTP request waits on a
+	// hung store past this). Negative disables.
+	OpTimeout time.Duration
+	// LockTimeout bounds one Lock acquisition (default 30s — locks
+	// legitimately wait for another process's kernel run, so this is much
+	// looser than OpTimeout). Negative disables.
+	LockTimeout time.Duration
+	// Retries is the number of re-attempts after a transient failure
+	// (default 2, so up to 3 attempts). Negative disables retrying.
+	Retries int
+	// RetryBase and RetryCap shape the decorrelated-jitter backoff
+	// between attempts: sleep = min(cap, base + U*(3*prev - base)).
+	// Defaults 25ms and 250ms.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold opens the breaker after this many consecutive
+	// failed operations (default 5). Negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before allowing
+	// one half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// AsyncPublish moves Puts off the caller's path onto a bounded-budget
+	// background worker. A publish that doesn't fit the budget falls
+	// back to the caller's synchronous path (backpressure, bounded by
+	// the op timeout and retry budget — a completed kernel run's
+	// artefact is never dropped under load); publishes arriving after
+	// Close are dropped and counted. Close drains the queue.
+	AsyncPublish bool
+	// PublishBudget is the async publish queue depth (default 64).
+	PublishBudget int
+	// DrainTimeout bounds Close's wait for queued publishes (default 5s).
+	DrainTimeout time.Duration
+	// Seed keys the retry jitter; 0 seeds from the clock (jitter does not
+	// need determinism, but tests appreciate it).
+	Seed int64
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	def := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&c.OpTimeout, 2*time.Second)
+	def(&c.LockTimeout, 30*time.Second)
+	def(&c.RetryBase, 25*time.Millisecond)
+	def(&c.RetryCap, 250*time.Millisecond)
+	def(&c.BreakerCooldown, time.Second)
+	def(&c.DrainTimeout, 5*time.Second)
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	} else if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0
+	}
+	if c.PublishBudget <= 0 {
+		c.PublishBudget = 64
+	}
+	return c
+}
+
+// ResilienceStats is the policy layer's contribution to CacheStats,
+// merged into Cache.Snapshot via an interface assertion on the store.
+type ResilienceStats struct {
+	Retries      uint64
+	Timeouts     uint64
+	BreakerOpens uint64
+	PublishDrops uint64
+	BreakerState string
+}
+
+// Breaker state names as surfaced in stats, benchjson and /healthz.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// circuitBreaker is the classic three-state machine guarding the
+// persistent tier: closed (counting consecutive failures), open
+// (rejecting everything until a cooldown elapses), half-open (one probe
+// in flight; its outcome re-closes or re-opens). A nil breaker is valid
+// and always allows — the "disabled" configuration.
+type circuitBreaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    string
+	failures int       // consecutive, while closed
+	openedAt time.Time // while open
+	probe    bool      // a half-open probe is in flight
+	opens    uint64
+}
+
+func newCircuitBreaker(threshold int, cooldown time.Duration) *circuitBreaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &circuitBreaker{threshold: threshold, cooldown: cooldown, state: breakerClosed}
+}
+
+// allow reports whether an operation may touch the store right now.
+// In the open state it flips to half-open once the cooldown has elapsed
+// and admits exactly one probe; everything else is rejected fast.
+func (b *circuitBreaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probe = true
+		return true
+	default: // half-open
+		if b.probe {
+			return false
+		}
+		b.probe = true
+		return true
+	}
+}
+
+// success records an operation that reached the store and came back
+// healthy (ErrArtefactNotFound counts: the store answered).
+func (b *circuitBreaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probe = false
+}
+
+// failure records an operation the store failed. The threshold'th
+// consecutive failure — or any failed half-open probe — opens the
+// breaker.
+func (b *circuitBreaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.reopen()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.reopen()
+		}
+	}
+}
+
+// reopen transitions to open; callers hold b.mu.
+func (b *circuitBreaker) reopen() {
+	b.state = breakerOpen
+	b.failures = 0
+	b.probe = false
+	b.openedAt = time.Now()
+	b.opens++
+}
+
+func (b *circuitBreaker) snapshot() (state string, opens uint64) {
+	if b == nil {
+		return breakerClosed, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}
+
+// publisher is the bounded-budget async publish queue: one worker
+// drains it, tryEnqueue never blocks the caller (a full queue signals
+// the caller to publish synchronously instead; a closed one drops the
+// publish, counted), close waits for the drain.
+type publisher struct {
+	put func(name string, data []byte)
+
+	mu     sync.Mutex
+	closed bool
+	queue  chan publishJob
+	done   chan struct{}
+	drops  atomic.Uint64
+}
+
+type publishJob struct {
+	name string
+	data []byte
+}
+
+func newPublisher(budget int, put func(name string, data []byte)) *publisher {
+	p := &publisher{put: put, queue: make(chan publishJob, budget), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		for job := range p.queue {
+			p.put(job.name, job.data)
+		}
+	}()
+	return p
+}
+
+// tryEnqueue hands one publish to the worker, reporting false when the
+// budget is exhausted — the caller then publishes synchronously, so a
+// full queue means backpressure, not loss. A publish after close is
+// dropped (counted) and reported true: the store is going away and the
+// artefact is merely a future cache miss.
+func (p *publisher) tryEnqueue(name string, data []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.drops.Add(1)
+		return true
+	}
+	select {
+	case p.queue <- publishJob{name, data}:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake and waits up to timeout for queued publishes to
+// land. Publishes still queued at expiry are counted as drops.
+func (p *publisher) close(timeout time.Duration) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return nil
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return nil
+	case <-t.C:
+		return fmt.Errorf("sim: publish drain exceeded %v", timeout)
+	}
+}
+
+// ResilientStore wraps a CacheStore with the survival policy the
+// persistent tier needs against a hostile store: per-op timeouts,
+// bounded retries with decorrelated-jitter backoff, a circuit breaker
+// that degrades the cache to memory-only while the store is sick, and
+// (optionally) asynchronous bounded-budget publishes. Every mechanism
+// converts a store failure into a clean miss or a skipped publish —
+// callers above see the same CacheStore contract, just slower-or-missing
+// rather than wrong or wedged.
+//
+// Construct with NewResilientStore, which preserves the inner store's
+// CacheLocker-ness. Close drains async publishes and closes the inner
+// store; Cache.Close forwards to it.
+type ResilientStore struct {
+	inner   CacheStore
+	cfg     ResilienceConfig
+	breaker *circuitBreaker
+	pub     *publisher
+
+	retries  atomic.Uint64
+	timeouts atomic.Uint64
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// resilientLockedStore adds Lock when the inner store offers it.
+type resilientLockedStore struct {
+	*ResilientStore
+}
+
+// NewResilientStore wraps inner with the policy of cfg. The return
+// implements CacheLocker exactly when inner does.
+func NewResilientStore(inner CacheStore, cfg ResilienceConfig) CacheStore {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &ResilientStore{
+		inner:   inner,
+		cfg:     cfg,
+		breaker: newCircuitBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		jitter:  rand.New(rand.NewSource(seed)),
+	}
+	if cfg.AsyncPublish {
+		s.pub = newPublisher(cfg.PublishBudget, s.publishSync)
+	}
+	if _, ok := inner.(CacheLocker); ok {
+		return &resilientLockedStore{s}
+	}
+	return s
+}
+
+// ResilienceStats reports the policy layer's counters; Cache.Snapshot
+// merges them into CacheStats.
+func (s *ResilientStore) ResilienceStats() ResilienceStats {
+	state, opens := s.breaker.snapshot()
+	var drops uint64
+	if s.pub != nil {
+		drops = s.pub.drops.Load()
+	}
+	return ResilienceStats{
+		Retries:      s.retries.Load(),
+		Timeouts:     s.timeouts.Load(),
+		BreakerOpens: opens,
+		PublishDrops: drops,
+		BreakerState: state,
+	}
+}
+
+// Close drains pending async publishes (bounded by DrainTimeout) and
+// closes the inner store when it supports closing. Idempotent.
+func (s *ResilientStore) Close() error {
+	s.closeOnce.Do(func() {
+		if s.pub != nil {
+			s.closeErr = s.pub.close(s.cfg.DrainTimeout)
+		}
+		if cl, ok := s.inner.(interface{ Close() error }); ok {
+			if err := cl.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// timedCall runs op, bounding it by timeout when positive. The result
+// travels through a buffered channel: when the bound expires the
+// abandoned goroutine completes into the buffer and is collected, never
+// racing a caller that has moved on.
+func timedCall[T any](timeout time.Duration, op func() (T, error)) (T, error) {
+	if timeout <= 0 {
+		return op()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := op()
+		ch <- result{v, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-t.C:
+		var zero T
+		return zero, ErrStoreTimeout
+	}
+}
+
+// backoff computes the next decorrelated-jitter sleep from the previous
+// one: min(cap, base + U*(3*prev - base)).
+func (s *ResilientStore) backoff(prev time.Duration) time.Duration {
+	base, cap := s.cfg.RetryBase, s.cfg.RetryCap
+	s.jitterMu.Lock()
+	u := s.jitter.Float64()
+	s.jitterMu.Unlock()
+	d := base + time.Duration(u*float64(3*prev-base))
+	if d < base {
+		d = base
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// callRetry is the shared policy path for synchronous store ops: breaker
+// gate, timed attempts, retries with backoff for transient errors, and
+// breaker bookkeeping. ErrArtefactNotFound is a successful answer (the
+// store responded; the artefact is absent) — never retried, never a
+// breaker failure.
+func callRetry[T any](s *ResilientStore, op func() (T, error)) (T, error) {
+	var zero T
+	if !s.breaker.allow() {
+		return zero, ErrBreakerOpen
+	}
+	sleep := s.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		v, err := timedCall(s.cfg.OpTimeout, op)
+		if err == nil || errors.Is(err, ErrArtefactNotFound) {
+			s.breaker.success()
+			return v, err
+		}
+		if errors.Is(err, ErrStoreTimeout) {
+			s.timeouts.Add(1)
+		}
+		s.breaker.failure()
+		if attempt >= s.cfg.Retries {
+			return zero, err
+		}
+		if !s.breaker.allow() {
+			return zero, ErrBreakerOpen
+		}
+		s.retries.Add(1)
+		sleep = s.backoff(sleep)
+		time.Sleep(sleep)
+	}
+}
+
+// Get reads through the policy: breaker-gated, timed, retried.
+func (s *ResilientStore) Get(name string) ([]byte, error) {
+	return callRetry(s, func() ([]byte, error) { return s.inner.Get(name) })
+}
+
+// publishSync is the worker-side (or synchronous) Put path.
+func (s *ResilientStore) publishSync(name string, data []byte) {
+	_, _ = callRetry(s, func() (struct{}, error) {
+		return struct{}{}, s.inner.Put(name, data)
+	})
+}
+
+// Put publishes through the policy. With AsyncPublish the call usually
+// returns immediately and the artefact lands in the background; when
+// the budget is exhausted the caller publishes synchronously
+// (backpressure), and after Close the publish is dropped and counted.
+// Either way the caller never sees a store failure — a lost publish is
+// a future cache miss, not an error.
+func (s *ResilientStore) Put(name string, data []byte) error {
+	if s.pub != nil {
+		if !s.pub.tryEnqueue(name, data) {
+			s.publishSync(name, data)
+		}
+		return nil
+	}
+	_, err := callRetry(s, func() (struct{}, error) {
+		return struct{}{}, s.inner.Put(name, data)
+	})
+	return err
+}
+
+// Quarantine moves a bad artefact aside through the policy.
+func (s *ResilientStore) Quarantine(name, reason string) error {
+	_, err := callRetry(s, func() (struct{}, error) {
+		return struct{}{}, s.inner.Quarantine(name, reason)
+	})
+	return err
+}
+
+// Lock acquires through the policy: breaker-gated and bounded by
+// LockTimeout (not OpTimeout — locks legitimately wait for another
+// process's kernel run, and are never retried: on failure the cache
+// falls straight back to owner-wins). Caller cancellation propagates
+// as ctx's error; a policy timeout surfaces as ErrStoreTimeout so the
+// cache's owner-wins degradation (not its cancellation path) handles it.
+func (s *resilientLockedStore) Lock(ctx context.Context, name string) (func(), error) {
+	if !s.breaker.allow() {
+		return nil, ErrBreakerOpen
+	}
+	lctx := ctx
+	if s.cfg.LockTimeout > 0 {
+		var cancel context.CancelFunc
+		lctx, cancel = context.WithTimeout(ctx, s.cfg.LockTimeout)
+		defer cancel()
+	}
+	unlock, err := s.inner.(CacheLocker).Lock(lctx, name)
+	if err == nil {
+		s.breaker.success()
+		return unlock, nil
+	}
+	if ctx.Err() != nil {
+		// The caller's own context ended; not the store's fault.
+		return nil, err
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+		s.breaker.failure()
+		return nil, fmt.Errorf("%w: lock %s", ErrStoreTimeout, name)
+	}
+	s.breaker.failure()
+	return nil, err
+}
+
+var (
+	_ CacheStore  = (*ResilientStore)(nil)
+	_ CacheStore  = (*resilientLockedStore)(nil)
+	_ CacheLocker = (*resilientLockedStore)(nil)
+)

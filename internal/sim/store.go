@@ -54,18 +54,29 @@ const quarantineDir = "quarantine"
 // single flat directory, shareable between concurrent processes (CLI
 // invocations, CI jobs, wavm3d replicas) on one filesystem.
 //
-//   - Put writes a temp file in the same directory, fsyncs, then renames
-//     over the final name — readers only ever observe absent or complete
-//     files, even across a crash mid-write.
+//   - Put writes a temp file in the same directory, fsyncs, renames over
+//     the final name, then fsyncs the directory — readers only ever
+//     observe absent or complete files, and a published artefact survives
+//     power loss immediately after Put returns.
 //   - Lock (the CacheLocker interface) takes an advisory flock on a
 //     sidecar <name>.lock file, so concurrent processes sharing the
 //     directory elect one kernel-run owner per key and the losers re-read
 //     the owner's artefact. Locks die with their process: a crashed owner
-//     never wedges the directory.
+//     never wedges the directory, and a wedged lock *file* (a stale NFS
+//     handle, a filesystem that silently drops flocks) is bounded by a
+//     per-acquisition deadline after which the caller degrades to
+//     owner-wins instead of polling forever.
 //   - Quarantine renames a corrupt artefact into quarantine/ with the
-//     failure reason in the file name.
+//     failure reason in the file name, recreating quarantine/ if it was
+//     removed at runtime.
 type DirStore struct {
 	dir string
+
+	// LockDeadline bounds one Lock acquisition: on expiry Lock returns an
+	// error (not the caller's ctx error), which the cache layer degrades
+	// to owner-wins publishing. 0 selects DefaultLockDeadline; negative
+	// waits without bound.
+	LockDeadline time.Duration
 }
 
 // NewDirStore opens (creating if necessary) a cache directory.
@@ -79,14 +90,30 @@ func NewDirStore(dir string) (*DirStore, error) {
 // Dir returns the store's root directory.
 func (s *DirStore) Dir() string { return s.dir }
 
-// checkName refuses names that could escape the store directory or
+// checkArtefactName refuses names that could escape a store directory or
 // collide with its internals. Cache-layer names are hex hashes plus a
-// version suffix, so anything else indicates a bug.
-func (s *DirStore) checkName(name string) error {
+// version suffix, so anything else indicates a bug. Shared by every
+// dir-backed store (DirStore, ObjStore).
+func checkArtefactName(name string) error {
 	if name == "" || name == quarantineDir || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
 		return fmt.Errorf("sim: invalid artefact name %q", name)
 	}
 	return nil
+}
+
+func (s *DirStore) checkName(name string) error { return checkArtefactName(name) }
+
+// syncDir flushes a directory's entry table so a just-renamed file
+// survives power loss. Best-effort: a filesystem that cannot fsync a
+// directory still gave us the rename's atomicity, which is the
+// correctness half of the contract.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // Get reads an artefact's bytes.
@@ -138,19 +165,38 @@ func (s *DirStore) Put(name string, data []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("sim: publishing artefact: %w", err)
 	}
+	// The rename made the artefact visible; the directory fsync makes it
+	// durable (without it, a power cut can roll the publish back).
+	syncDir(s.dir)
 	return nil
 }
 
 // Quarantine moves a corrupt artefact into quarantine/<name>.<reason>.
 // A missing source is success — a concurrent process already moved it.
+// A missing quarantine/ directory (removed at runtime by an operator or
+// a cleanup job) is recreated on demand; without that, every future
+// corruption would fail its quarantine and re-read the same bad file
+// forever.
 func (s *DirStore) Quarantine(name, reason string) error {
 	if err := s.checkName(name); err != nil {
 		return err
 	}
+	src := filepath.Join(s.dir, name)
 	dst := filepath.Join(s.dir, quarantineDir, name+"."+reason)
-	err := os.Rename(filepath.Join(s.dir, name), dst)
+	err := os.Rename(src, dst)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		// ENOENT is ambiguous: source already moved (success), or the
+		// quarantine directory is gone (recreate and retry once).
+		if _, serr := os.Stat(src); errors.Is(serr, os.ErrNotExist) {
+			return nil
+		}
+		if merr := os.MkdirAll(filepath.Join(s.dir, quarantineDir), 0o755); merr != nil {
+			return fmt.Errorf("sim: recreating quarantine dir: %w", merr)
+		}
+		err = os.Rename(src, dst)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
 	}
 	return err
 }
@@ -160,11 +206,26 @@ func (s *DirStore) Quarantine(name, reason string) error {
 // long enough not to spin.
 const lockPollInterval = 5 * time.Millisecond
 
+// DefaultLockDeadline is the per-acquisition bound Lock applies when
+// DirStore.LockDeadline is zero: long enough for any realistic owner's
+// kernel run, short enough that a wedged lock file cannot stall a
+// process forever.
+const DefaultLockDeadline = 30 * time.Second
+
+// errLockWedged reports a Lock acquisition that hit its deadline while
+// the caller's own context was still live — the signature of a wedged
+// lock file (a dead NFS handle, a leaked flock). The cache layer treats
+// it like any other store failure: degrade to owner-wins publishing.
+var errLockWedged = errors.New("sim: artefact lock acquisition deadline exceeded; degrading to owner-wins")
+
 // Lock implements CacheLocker with an advisory flock on <name>.lock,
 // acquired non-blocking in a poll loop so ctx cancellation is honoured
-// while waiting. The lock file itself is left in place — removing it
-// would race a third process onto a different inode and break the
-// exclusion.
+// while waiting. The poll timer is allocated once and reused across
+// iterations (the loop runs at 200 Hz while waiting). Acquisition is
+// bounded by LockDeadline so a wedged lock file degrades to owner-wins
+// instead of polling forever. The lock file itself is left in place —
+// removing it would race a third process onto a different inode and
+// break the exclusion.
 func (s *DirStore) Lock(ctx context.Context, name string) (func(), error) {
 	if err := s.checkName(name); err != nil {
 		return nil, err
@@ -173,6 +234,18 @@ func (s *DirStore) Lock(ctx context.Context, name string) (func(), error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: opening artefact lock: %w", err)
 	}
+	deadline := s.LockDeadline
+	if deadline == 0 {
+		deadline = DefaultLockDeadline
+	}
+	var expire <-chan time.Time
+	if deadline > 0 {
+		expireTimer := time.NewTimer(deadline)
+		defer expireTimer.Stop()
+		expire = expireTimer.C
+	}
+	poll := time.NewTimer(lockPollInterval)
+	defer poll.Stop()
 	for {
 		held, err := flockTry(f)
 		if err != nil {
@@ -189,7 +262,11 @@ func (s *DirStore) Lock(ctx context.Context, name string) (func(), error) {
 		case <-ctx.Done():
 			f.Close()
 			return nil, ctx.Err()
-		case <-time.After(lockPollInterval):
+		case <-expire:
+			f.Close()
+			return nil, errLockWedged
+		case <-poll.C:
+			poll.Reset(lockPollInterval)
 		}
 	}
 }
